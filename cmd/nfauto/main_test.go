@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAltbitWitness(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-system", "altbit"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"VIOLATION REACHABLE", "recv(d0)", "recheck"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAltbitFIFOVerifiedSafe(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-system", "altbit", "-fifo"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "VERIFIED SAFE") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestSeqnumVerifiedSafe(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-system", "seqnum", "-messages", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "VERIFIED SAFE") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestUndecidedOnTinyBudget(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-system", "seqnum", "-max-states", "5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "UNDECIDED") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, args := range [][]string{{"-system", "nope"}, {"-badflag"}} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Fatalf("args %v should fail", args)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Command nfexp regenerates the reproduction's experiment tables E0–E12
+// (see DESIGN.md §4). EXPERIMENTS.md records a full run.
+//
+//	nfexp                    # quick sweeps (seconds)
+//	nfexp -full              # the EXPERIMENTS.md sweeps
+//	nfexp -format markdown   # GitHub-flavoured markdown tables
+//	nfexp -run E3a,E10       # a subset of the experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nfexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nfexp", flag.ContinueOnError)
+	var (
+		full   = fs.Bool("full", false, "run the full EXPERIMENTS.md sweeps")
+		format = fs.String("format", "text", "output format: text or markdown")
+		only   = fs.String("run", "", "comma-separated experiment IDs to run (e.g. E3a,E10); empty = all")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale := core.Quick
+	if *full {
+		scale = core.Full
+	}
+	var render core.Renderer
+	switch *format {
+	case "text":
+		render = core.Text
+	case "markdown":
+		render = core.Markdown
+	default:
+		return fmt.Errorf("unknown format %q (use text or markdown)", *format)
+	}
+	var ids []string
+	if *only != "" {
+		ids = strings.Split(*only, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
+	}
+	return core.RunSelected(out, scale, render, ids)
+}

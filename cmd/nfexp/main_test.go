@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSubsetText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "E0"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "== E0:") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunSubsetMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "E3b", "-format", "markdown"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "### E3b:") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-format", "nope"},
+		{"-run", "E99"},
+		{"-badflag"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Fatalf("args %v should fail", args)
+		}
+	}
+}

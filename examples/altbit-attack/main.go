@@ -1,0 +1,68 @@
+// The alternating bit protocol is the classic bounded-header data link
+// protocol — and over a non-FIFO channel it is unsafe. This example lets
+// the replay adversary find the attack automatically and prints the
+// machine-checked violation certificate: a concrete execution in which the
+// receiver delivers more messages than were ever sent (rm = sm + 1), the
+// invalid-execution shape at the heart of the paper's Theorems 3.1 and 4.1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nonfifo "repro"
+)
+
+func main() {
+	// Deliver two messages while the channel quietly delays one copy of
+	// the first data packet (the transmitter retransmits, so delivery
+	// still succeeds). The delayed copy is now a stale d0 in transit.
+	r := nonfifo.NewRunner(nonfifo.Config{
+		Protocol:    nonfifo.AltBit(),
+		DataPolicy:  nonfifo.DelayFirst(1),
+		RecordTrace: true,
+	})
+	for i := 0; i < 2; i++ {
+		if err := r.RunMessage(fmt.Sprintf("payment-%d", i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("two messages delivered; channel still holds: %s\n\n", r.ChData.Key())
+
+	// Hand the execution to the adversary: it searches over schedules of
+	// stale-copy deliveries for one that breaks a safety property.
+	rep, err := nonfifo.ReplaySearch(r, nonfifo.ReplayConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep.Cert == nil {
+		log.Fatal("unexpected: the attack should succeed against altbit")
+	}
+	// The certificate is independently re-checked against the trace
+	// checkers before we trust it.
+	if err := rep.Cert.Recheck(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.Cert)
+
+	// The same search cannot break the naive sequence-number protocol:
+	// per-message headers make stale copies harmless.
+	r2 := nonfifo.NewRunner(nonfifo.Config{
+		Protocol:    nonfifo.SeqNum(),
+		DataPolicy:  nonfifo.DelayFirst(1),
+		RecordTrace: true,
+	})
+	for i := 0; i < 2; i++ {
+		if err := r2.RunMessage(fmt.Sprintf("payment-%d", i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rep2, err := nonfifo.ReplaySearch(r2, nonfifo.ReplayConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep2.Cert != nil {
+		log.Fatal("unexpected: seqnum should resist")
+	}
+	fmt.Printf("seqnum resisted the same adversary (%d replay schedules explored)\n", rep2.Nodes)
+}

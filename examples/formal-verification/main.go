@@ -1,0 +1,84 @@
+// The paper's model in its original formalism. [LMF88] — the paper's
+// foundation — specifies everything as I/O automata [LT87]; this example
+// composes the Section-2 system (user ∥ A^t ∥ channel ∥ channel ∥ A^r ∥
+// DL-monitor) in that formalism and decides safety by exhausting the
+// reachable states:
+//
+//   - alternating bit over the non-FIFO channel: the DL-violation state is
+//     reachable, and the shortest action witness is printed;
+//   - alternating bit over the lossy FIFO channel: verified safe;
+//   - the naive sequence-number protocol over the non-FIFO channel:
+//     verified safe — Theorem 3.1's escape hatch, proven by exhaustion.
+//
+// The witness is converted into an execution trace and re-checked by the
+// independent trace checkers before being believed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nonfifo "repro"
+)
+
+func main() {
+	// 1. altbit over non-FIFO: the violation is reachable.
+	sys, err := nonfifo.NewAltBitSystem(nonfifo.NonFIFOChannel, 2, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := nonfifo.ReachAutomaton(sys, nonfifo.AutomatonViolated, 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Found == nil {
+		log.Fatal("unexpected: violation should be reachable")
+	}
+	fmt.Printf("altbit ∥ non-FIFO channel: VIOLATION reachable (%d states searched)\n", res.States)
+	fmt.Println("shortest witness (action sequence):")
+	for i, a := range res.Found {
+		fmt.Printf("  %2d  %s\n", i, a)
+	}
+
+	// Convert the witness to an execution trace and re-check it with the
+	// trace checkers — two formalisms, one verdict.
+	tr, err := nonfifo.AutomatonWitnessTrace(res.Found)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if cerr := nonfifo.CheckSafety(tr); cerr == nil {
+		log.Fatal("unexpected: witness passes the trace checkers")
+	} else {
+		fmt.Printf("\ntrace checkers confirm: %v\n", cerr)
+	}
+
+	// 2. altbit over FIFO: verified safe by exhaustion.
+	fifoSys, err := nonfifo.NewAltBitSystem(nonfifo.FIFOChannel, 2, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fifoRes, err := nonfifo.ReachAutomaton(fifoSys, nonfifo.AutomatonViolated, 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fifoRes.Found != nil || !fifoRes.Exhausted {
+		log.Fatal("unexpected: altbit should verify safe over FIFO")
+	}
+	fmt.Printf("\naltbit ∥ FIFO channel: VERIFIED SAFE (%d states exhausted)\n", fifoRes.States)
+
+	// 3. seqnum over non-FIFO: verified safe by exhaustion.
+	snSys, err := nonfifo.NewSeqNumSystem(nonfifo.NonFIFOChannel, 3, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	snRes, err := nonfifo.ReachAutomaton(snSys, nonfifo.AutomatonViolated, 1<<22)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if snRes.Found != nil || !snRes.Exhausted {
+		log.Fatal("unexpected: seqnum should verify safe")
+	}
+	fmt.Printf("seqnum ∥ non-FIFO channel (n=3): VERIFIED SAFE (%d states exhausted)\n", snRes.States)
+	fmt.Println("\nreordering breaks the bounded-header protocol; the n-header protocol")
+	fmt.Println("survives the same exhaustive adversary — Theorem 3.1, by state-space search.")
+}

@@ -1,0 +1,51 @@
+// Theorem 5.1 in action: over a probabilistic physical layer that delays
+// each packet with probability q, any bounded-header protocol must send
+// (1+q−ε)^Ω(n) packets to deliver n messages — even though the channel's
+// *average* behaviour looks benign. The naive unbounded-header protocol
+// pays only Θ(n).
+//
+// This example sweeps n for both protocols at q = 0.25 and prints the
+// per-message packet bill side by side, showing the exponential/linear
+// split the paper proves.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	nonfifo "repro"
+)
+
+func main() {
+	const q = 0.25
+	ns := []int{4, 8, 12, 16, 20, 24}
+
+	fmt.Printf("probabilistic physical layer, delay probability q = %.2f\n", q)
+	fmt.Printf("%6s  %22s  %22s\n", "n", "cntlinear (4 headers)", "seqnum (n headers)")
+	fmt.Printf("%6s  %22s  %22s\n", "---", "total data packets", "total data packets")
+
+	for _, n := range ns {
+		cnt := totalPackets(nonfifo.CntLinear(), n, q, 1)
+		sq := totalPackets(nonfifo.SeqNum(), n, q, 1)
+		fmt.Printf("%6d  %22d  %22d\n", n, cnt, sq)
+	}
+
+	fmt.Println()
+	fmt.Println("cntlinear's bill grows geometrically: every delayed copy becomes a stale")
+	fmt.Println("packet the next same-bit phase must outnumber, compounding at ≈ 1/(1−q)")
+	fmt.Println("per phase ≥ the paper's (1+q). seqnum's per-message headers make stale")
+	fmt.Println("copies harmless, so its bill stays ≈ n/(1−q).")
+}
+
+func totalPackets(p nonfifo.Protocol, n int, q float64, seed int64) int {
+	r := nonfifo.NewRunner(nonfifo.Config{
+		Protocol:   p,
+		DataPolicy: nonfifo.Probabilistic(q, rand.New(rand.NewSource(seed))),
+	})
+	res := r.Run(n)
+	if res.Err != nil {
+		log.Fatalf("%s n=%d: %v", p.Name(), n, res.Err)
+	}
+	return res.Metrics.TotalDataPackets
+}

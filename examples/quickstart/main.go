@@ -1,0 +1,43 @@
+// Quickstart: run a data link protocol over an unreliable non-FIFO channel,
+// verify the execution against the paper's correctness properties, and read
+// off the three efficiency metrics (packets, headers, space).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	nonfifo "repro"
+)
+
+func main() {
+	// The naive protocol (message i uses header i) over the paper's
+	// probabilistic physical layer: each packet is delayed with
+	// probability q = 0.25.
+	r := nonfifo.NewRunner(nonfifo.Config{
+		Protocol:    nonfifo.SeqNum(),
+		DataPolicy:  nonfifo.Probabilistic(0.25, rand.New(rand.NewSource(42))),
+		AckPolicy:   nonfifo.Probabilistic(0.25, rand.New(rand.NewSource(43))),
+		RecordTrace: true,
+	})
+
+	const n = 12
+	res := r.Run(n)
+	if res.Err != nil {
+		log.Fatalf("run failed: %v", res.Err)
+	}
+
+	// Verify the execution: PL1 on both channels, DL1 (exactly-once
+	// delivery), DL2 (FIFO), DL3 (everything delivered).
+	if err := nonfifo.CheckValid(res.Trace); err != nil {
+		log.Fatalf("execution invalid: %v", err)
+	}
+
+	fmt.Printf("delivered %d/%d messages over a lossy non-FIFO channel\n", len(res.Delivered), n)
+	fmt.Printf("  data packets sent: %d\n", res.Metrics.TotalDataPackets)
+	fmt.Printf("  distinct headers:  %d (the naive protocol pays Θ(n) headers — Thm 3.1 says that's optimal)\n",
+		res.Metrics.HeadersUsed)
+	fmt.Printf("  peak state size:   %d (a counter: O(log n) space)\n", res.Metrics.MaxStateSize)
+	fmt.Printf("  checkers:          PL1 ✓  DL1 ✓  DL2 ✓  DL3 ✓\n")
+}

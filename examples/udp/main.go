@@ -1,0 +1,61 @@
+// The paper's model, on a real socket: run the naive sequence-number
+// protocol over loopback UDP while a chaos wrapper imposes the non-FIFO
+// physical layer — 25% of datagrams are dropped and 25% are reordered, in
+// both directions. The unbounded-header protocol delivers everything, in
+// order, regardless.
+//
+// Note which protocols can run here at all: the bounded-header counting
+// protocols need the stale-copy genie, which no real network provides —
+// the paper's conclusion ("pay the unbounded headers") made operational.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	nonfifo "repro"
+)
+
+func main() {
+	seed := int64(0)
+	chaos := func(c net.PacketConn) net.PacketConn {
+		seed++
+		return nonfifo.NewChaosConn(c, nonfifo.ChaosConfig{
+			DropProb: 0.25,
+			HoldProb: 0.25,
+			Seed:     seed,
+		})
+	}
+	pair, err := nonfifo.NewLoopbackPair(nonfifo.SeqNum(), chaos,
+		nonfifo.WithResendInterval(time.Millisecond))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pair.Close()
+
+	const n = 12
+	fmt.Printf("sending %d messages over loopback UDP with 25%% loss + 25%% reordering…\n\n", n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := pair.Sender.Send(fmt.Sprintf("ledger-entry-%02d", i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := pair.Sender.Flush(15 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	for i := 0; i < n; i++ {
+		select {
+		case payload := <-pair.Receiver.Out():
+			fmt.Printf("  delivered in order: %s\n", payload)
+		case <-time.After(5 * time.Second):
+			log.Fatalf("missing delivery %d", i)
+		}
+	}
+	fmt.Printf("\nall %d messages delivered exactly once, in order, in %v\n", n, time.Since(start).Round(time.Millisecond))
+	fmt.Println("(seqnum pays one fresh header per message — Theorem 3.1 says any")
+	fmt.Println("protocol this robust with bounded space must.)")
+}

@@ -1,0 +1,106 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+)
+
+func TestInductionBreaksAltbit(t *testing.T) {
+	rep, err := Induction(protocol.NewAltBit(), 2, 10, ReplayConfig{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Fatalf("accumulation should complete for a 2-data-header protocol: %+v", rep)
+	}
+	if len(rep.Accumulated) != 2 {
+		t.Fatalf("accumulated headers = %v, want both data headers", rep.Accumulated)
+	}
+	if rep.Replay.Cert == nil {
+		t.Fatal("final simulation step should break altbit")
+	}
+	if err := rep.Replay.Cert.Recheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInductionBreaksCheat(t *testing.T) {
+	rep, err := Induction(protocol.NewCheat(1), 3, 10, ReplayConfig{MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete || rep.Replay.Cert == nil {
+		t.Fatalf("induction should break cheat(1): complete=%t cert=%v", rep.Complete, rep.Replay.Cert)
+	}
+}
+
+func TestInductionCountingResists(t *testing.T) {
+	rep, err := Induction(protocol.NewCntLinear(), 2, 10, ReplayConfig{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Fatalf("accumulation should complete: %+v", rep)
+	}
+	if rep.Replay.Cert != nil {
+		t.Fatalf("cntlinear should resist the simulation step:\n%s", rep.Replay.Cert)
+	}
+}
+
+func TestInductionSeqnumNeverCompletes(t *testing.T) {
+	// The naive protocol's alphabet grows every message: accumulation can
+	// never cover it. The report records the growing frontier instead.
+	rep, err := Induction(protocol.NewSeqNum(), 2, 8, ReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Complete {
+		t.Fatalf("seqnum accumulation should never complete: %+v", rep)
+	}
+	if rep.MessagesUsed != 8 {
+		t.Fatalf("should have used the full message budget, used %d", rep.MessagesUsed)
+	}
+	// Every phase strands a fresh header.
+	if len(rep.Accumulated) < 4 {
+		t.Fatalf("accumulated = %v", rep.Accumulated)
+	}
+}
+
+func TestInductionPhasesRecordGrowth(t *testing.T) {
+	rep, err := Induction(protocol.NewAltBit(), 3, 10, ReplayConfig{MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Phases) == 0 {
+		t.Fatal("no phases recorded")
+	}
+	// Counts must be monotone per header across phases (the accumulating
+	// policy never releases below target).
+	last := make(map[string]int)
+	for _, ph := range rep.Phases {
+		for h, c := range ph.Counts {
+			if c < last[h] {
+				t.Fatalf("header %s count regressed: %d < %d", h, c, last[h])
+			}
+			last[h] = c
+		}
+	}
+	// Final counts reach the target for both data headers.
+	final := rep.Phases[len(rep.Phases)-1].Counts
+	for _, h := range []string{"d0", "d1"} {
+		if final[h] < 3 {
+			t.Fatalf("header %s final count %d < target", h, final[h])
+		}
+	}
+}
+
+func TestInductionClampsParameters(t *testing.T) {
+	rep, err := Induction(protocol.NewAltBit(), 0, 0, ReplayConfig{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MessagesUsed == 0 {
+		t.Fatal("clamped parameters should still run")
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// Scale selects experiment sizes: Quick for tests and CI, Full for the
+// numbers recorded in EXPERIMENTS.md.
+type Scale int
+
+const (
+	// Quick runs reduced sweeps (seconds).
+	Quick Scale = iota + 1
+	// Full runs the EXPERIMENTS.md sweeps (tens of seconds).
+	Full
+)
+
+// Renderer writes one experiment table to w.
+type Renderer func(*Table, io.Writer) error
+
+// Text renders aligned plain text (the EXPERIMENTS.md transcript format).
+func Text(t *Table, w io.Writer) error { return t.Render(w) }
+
+// Markdown renders GitHub-flavoured markdown.
+func Markdown(t *Table, w io.Writer) error { return t.RenderMarkdown(w) }
+
+// RunAll executes every experiment at the given scale and renders the
+// tables to w as plain text, in DESIGN.md §4 order. It stops at the first
+// failing experiment.
+func RunAll(w io.Writer, scale Scale) error { return RunAllWith(w, scale, Text) }
+
+// RunAllWith is RunAll with a custom table renderer.
+func RunAllWith(w io.Writer, scale Scale, render Renderer) error {
+	return RunSelected(w, scale, render, nil)
+}
+
+// RunSelected runs the experiments whose IDs are listed in only (nil means
+// all), rendering with render. Unknown IDs are reported as an error.
+func RunSelected(w io.Writer, scale Scale, render Renderer, only []string) error {
+	type step struct {
+		name string
+		run  func() (*Table, error)
+	}
+	quick := scale != Full
+
+	e2aNs := []int{1, 4, 16, 64, 256, 1024}
+	e2bDelays := []int{0, 16, 64, 256, 1024, 4096}
+	e3aLevels := []int{0, 1, 4, 16, 64, 256, 1024, 4096}
+	e4 := E4Params{}
+	e5 := E5Params{}
+	e6n := 16
+	if quick {
+		e2aNs = []int{1, 4, 16}
+		e2bDelays = []int{0, 16, 64}
+		e3aLevels = []int{0, 4, 16, 64}
+		e4 = E4Params{Qs: []float64{0.25}, Ns: []int{4, 8, 12}, Seeds: 3}
+		e5 = E5Params{Ns: []int{4, 8, 12}, Seeds: 10}
+		e6n = 8
+	}
+
+	steps := []step{
+		{"E0", func() (*Table, error) {
+			r, err := RunE0()
+			return r.Table(), err
+		}},
+		{"E1", func() (*Table, error) {
+			r, err := RunE1()
+			return r.Table(), err
+		}},
+		{"E2a", func() (*Table, error) {
+			rows, err := RunE2a(e2aNs)
+			return E2aTable(rows), err
+		}},
+		{"E2b", func() (*Table, error) {
+			rows, err := RunE2b(8, e2bDelays)
+			return E2bTable(rows, 8), err
+		}},
+		{"E2c", func() (*Table, error) {
+			rows, err := RunE2c(3)
+			return E2cTable(rows), err
+		}},
+		{"E2d", func() (*Table, error) {
+			res, err := RunE2d(3)
+			if err != nil {
+				return nil, err
+			}
+			if err := render(res.HistoryTable(), w); err != nil {
+				return nil, err
+			}
+			return res.Table(), nil
+		}},
+		{"E3a", func() (*Table, error) {
+			rows, err := RunE3a(e3aLevels)
+			return E3aTable(rows), err
+		}},
+		{"E3b", func() (*Table, error) {
+			rows, err := RunE3b(8, nil)
+			return E3bTable(rows), err
+		}},
+		{"E4", func() (*Table, error) {
+			series, err := RunE4(e4)
+			return E4Table(series), err
+		}},
+		{"E5", func() (*Table, error) {
+			rows, err := RunE5(e5)
+			return E5Table(rows, e5.withDefaults().Q), err
+		}},
+		{"E6", func() (*Table, error) {
+			rows, err := RunE6(0.25, e6n, 0)
+			return E6Table(rows, 0.25, e6n), err
+		}},
+		{"E7", func() (*Table, error) {
+			rows, err := RunE7()
+			return E7Table(rows), err
+		}},
+		{"E8", func() (*Table, error) {
+			rows, err := RunE8()
+			return E8Table(rows), err
+		}},
+		{"E9", func() (*Table, error) {
+			rows, err := RunE9()
+			return E9Table(rows), err
+		}},
+		{"E10", func() (*Table, error) {
+			rows, err := RunE10(64, nil)
+			return E10Table(rows), err
+		}},
+		{"E11", func() (*Table, error) {
+			n, seeds := 24, 5
+			if quick {
+				n, seeds = 12, 2
+			}
+			rows, err := RunE11(e4.Qs, n, seeds)
+			return E11Table(rows, n), err
+		}},
+		{"E12", func() (*Table, error) {
+			rows, err := RunE12()
+			return E12Table(rows), err
+		}},
+	}
+	want := make(map[string]bool, len(only))
+	for _, id := range only {
+		want[id] = true
+	}
+	known := make(map[string]bool, len(steps))
+	for _, s := range steps {
+		known[s.name] = true
+	}
+	for id := range want {
+		if !known[id] {
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+	}
+	for _, s := range steps {
+		if len(want) > 0 && !want[s.name] {
+			continue
+		}
+		tbl, err := s.run()
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", s.name, err)
+		}
+		if err := render(tbl, w); err != nil {
+			return fmt.Errorf("render %s: %w", s.name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package explore
+
+import (
+	"repro/internal/channel"
+	"repro/internal/ioa"
+)
+
+// link abstracts the channel seen by the explorer, so the same search runs
+// over both channel disciplines:
+//
+//   - msetLink (non-FIFO): any in-transit packet may be delivered next —
+//     the paper's model, and the discipline under which bounded-header
+//     protocols fall;
+//   - fifoLink: only the oldest packet may be delivered (or lost) — the
+//     classical lossy-FIFO channel over which the alternating bit protocol
+//     is correct. Exploring both isolates *reordering* as the property the
+//     paper's lower bounds hinge on.
+type link interface {
+	send(p ioa.Packet)
+	// deliverable lists the packets that may be delivered next, in
+	// deterministic order.
+	deliverable() []ioa.Packet
+	deliver(p ioa.Packet) error
+	// droppable lists the packets that may be lost next.
+	droppable() []ioa.Packet
+	drop(p ioa.Packet) error
+	countHeader(h string) int
+	key() string
+	clone() link
+}
+
+// msetLink is the non-FIFO discipline over a counted multiset.
+type msetLink struct{ ch *channel.NonFIFO }
+
+var _ link = (*msetLink)(nil)
+
+func newMsetLink(dir ioa.Dir) *msetLink { return &msetLink{ch: channel.NewNonFIFO(dir)} }
+
+func (l *msetLink) send(p ioa.Packet)          { l.ch.Send(p) }
+func (l *msetLink) deliverable() []ioa.Packet  { return l.ch.Packets() }
+func (l *msetLink) deliver(p ioa.Packet) error { return l.ch.Deliver(p) }
+func (l *msetLink) droppable() []ioa.Packet    { return l.ch.Packets() }
+func (l *msetLink) drop(p ioa.Packet) error    { return l.ch.Drop(p) }
+func (l *msetLink) countHeader(h string) int   { return l.ch.CountHeader(h) }
+func (l *msetLink) key() string                { return l.ch.Key() }
+func (l *msetLink) clone() link                { return &msetLink{ch: l.ch.Clone()} }
+
+// fifoLink is the order-preserving discipline: deliveries and losses touch
+// the head of the queue only.
+type fifoLink struct{ ch *channel.FIFO }
+
+var _ link = (*fifoLink)(nil)
+
+func newFifoLink(dir ioa.Dir) *fifoLink { return &fifoLink{ch: channel.NewFIFO(dir)} }
+
+func (l *fifoLink) send(p ioa.Packet) { l.ch.Send(p) }
+
+func (l *fifoLink) deliverable() []ioa.Packet {
+	if h, ok := l.ch.Head(); ok {
+		return []ioa.Packet{h}
+	}
+	return nil
+}
+
+func (l *fifoLink) deliver(p ioa.Packet) error {
+	got, err := l.ch.DeliverHead()
+	if err != nil {
+		return err
+	}
+	if got != p {
+		// Cannot happen when p came from deliverable(); guard anyway.
+		return errHeadMismatch
+	}
+	return nil
+}
+
+func (l *fifoLink) droppable() []ioa.Packet { return l.deliverable() }
+
+func (l *fifoLink) drop(ioa.Packet) error { return l.ch.DropHead() }
+
+func (l *fifoLink) countHeader(h string) int { return l.ch.CountHeader(h) }
+func (l *fifoLink) key() string              { return l.ch.Key() }
+func (l *fifoLink) clone() link              { return &fifoLink{ch: l.ch.Clone()} }
+
+// linkGenie adapts a link to the channel.Genie interface so counting
+// protocols can run under the explorer on either discipline.
+type linkGenie struct{ l link }
+
+func (g linkGenie) Stale(h string) int { return g.l.countHeader(h) }

@@ -1,0 +1,67 @@
+package ioa
+
+// Recorder accumulates an execution trace. It supports marks and rollback
+// so that adversaries can speculatively explore extensions of an execution
+// (the proofs' "consider the extension β ...") and rewind.
+type Recorder struct {
+	trace Trace
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Append records an event.
+func (r *Recorder) Append(e Event) { r.trace = append(r.trace, e) }
+
+// SendMsg records a send_msg(m) action.
+func (r *Recorder) SendMsg(m Message) { r.Append(Event{Kind: SendMsg, Msg: m}) }
+
+// ReceiveMsg records a receive_msg(m) action.
+func (r *Recorder) ReceiveMsg(m Message) { r.Append(Event{Kind: ReceiveMsg, Msg: m}) }
+
+// SendPkt records a send_pkt action on channel d.
+func (r *Recorder) SendPkt(d Dir, p Packet) { r.Append(Event{Kind: SendPkt, Dir: d, Pkt: p}) }
+
+// ReceivePkt records a receive_pkt action on channel d.
+func (r *Recorder) ReceivePkt(d Dir, p Packet) { r.Append(Event{Kind: ReceivePkt, Dir: d, Pkt: p}) }
+
+// Len reports the current trace length. Use it as a mark for Rollback.
+func (r *Recorder) Len() int { return len(r.trace) }
+
+// Rollback truncates the trace to the given mark (a previous Len value).
+func (r *Recorder) Rollback(mark int) {
+	if mark < 0 || mark > len(r.trace) {
+		return
+	}
+	r.trace = r.trace[:mark]
+}
+
+// Trace returns a copy of the recorded trace.
+func (r *Recorder) Trace() Trace {
+	out := make(Trace, len(r.trace))
+	copy(out, r.trace)
+	return out
+}
+
+// Since returns a copy of the suffix recorded after the given mark.
+func (r *Recorder) Since(mark int) Trace {
+	if mark < 0 {
+		mark = 0
+	}
+	if mark > len(r.trace) {
+		mark = len(r.trace)
+	}
+	out := make(Trace, len(r.trace)-mark)
+	copy(out, r.trace[mark:])
+	return out
+}
+
+// Counters computes the Definition-2 counters of the current trace.
+func (r *Recorder) Counters() Counters { return r.trace.Count() }
+
+// Clone returns an independent copy of the recorder.
+func (r *Recorder) Clone() *Recorder {
+	c := &Recorder{trace: make(Trace, len(r.trace))}
+	copy(c.trace, r.trace)
+	return c
+}

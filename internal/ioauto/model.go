@@ -1,0 +1,443 @@
+package ioauto
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ioa"
+)
+
+// This file expresses the paper's system in the I/O automaton formalism,
+// under the constant-payload convention (all messages identical), with
+// explicitly finite alphabets and capacity-bounded channels so that the
+// composed state space is finite.
+//
+// Action naming:
+//
+//	send_msg            user → transmitter (and the monitor listens)
+//	receive_msg         receiver → environment (the monitor listens)
+//	send(h) / recv(h)   the t→r data channel's input / output for header h
+//	send'(h) / recv'(h) the r→t ack channel's input / output
+//	lose(h) / lose'(h)  the channels' internal loss actions
+
+// NewUser returns the environment automaton: it emits send_msg up to n
+// times and does nothing else.
+func NewUser(n int) Automaton { return &userAut{n: n} }
+
+type userAut struct{ n int }
+
+func (u *userAut) Name() string { return "user" }
+func (u *userAut) Signature() map[string]Class {
+	return map[string]Class{"send_msg": Output}
+}
+func (u *userAut) Init() State { return userState{limit: u.n} }
+
+type userState struct{ sent, limit int }
+
+func (s userState) Key() string { return fmt.Sprintf("user{%d/%d}", s.sent, s.limit) }
+func (s userState) Enabled() []string {
+	if s.sent < s.limit {
+		return []string{"send_msg"}
+	}
+	return nil
+}
+func (s userState) Apply(a string) (State, error) {
+	if a != "send_msg" {
+		return nil, fmt.Errorf("user: unknown action %q", a)
+	}
+	if s.sent >= s.limit {
+		return nil, fmt.Errorf("user: send_msg beyond limit")
+	}
+	return userState{sent: s.sent + 1, limit: s.limit}, nil
+}
+
+// ChannelKind selects the delivery discipline of a channel automaton.
+type ChannelKind int
+
+const (
+	// NonFIFOKind delivers any in-transit packet (the paper's channel).
+	NonFIFOKind ChannelKind = iota + 1
+	// FIFOKind delivers only the oldest packet.
+	FIFOKind
+)
+
+// NewChannel returns a capacity-bounded channel automaton. prime selects
+// the primed (r→t) action family; headers is the finite packet alphabet.
+// Sends beyond capacity are silently dropped (the automaton stays
+// input-enabled), and every in-transit packet may be lost via an internal
+// action — the unreliable physical layer of Section 2.1.
+func NewChannel(kind ChannelKind, prime bool, headers []string, capacity int) Automaton {
+	hs := append([]string(nil), headers...)
+	sort.Strings(hs)
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &chanAut{kind: kind, prime: prime, headers: hs, capacity: capacity}
+}
+
+type chanAut struct {
+	kind     ChannelKind
+	prime    bool
+	headers  []string
+	capacity int
+}
+
+func (c *chanAut) mark() string {
+	if c.prime {
+		return "'"
+	}
+	return ""
+}
+
+func (c *chanAut) Name() string {
+	return fmt.Sprintf("chan%s(%v)", c.mark(), c.kind == FIFOKind)
+}
+
+func (c *chanAut) Signature() map[string]Class {
+	sig := make(map[string]Class, 3*len(c.headers))
+	for _, h := range c.headers {
+		sig[fmt.Sprintf("send%s(%s)", c.mark(), h)] = Input
+		sig[fmt.Sprintf("recv%s(%s)", c.mark(), h)] = Output
+		sig[fmt.Sprintf("lose%s(%s)", c.mark(), h)] = Internal
+	}
+	return sig
+}
+
+func (c *chanAut) Init() State {
+	return chanState{aut: c}
+}
+
+// chanState stores the transit contents: header indices in send order (the
+// order only matters for FIFOKind).
+type chanState struct {
+	aut     *chanAut
+	transit string // one byte per packet: 'a'+headerIndex
+}
+
+func (s chanState) Key() string {
+	return fmt.Sprintf("chan%s{%s}", s.aut.mark(), s.transit)
+}
+
+func (s chanState) Enabled() []string {
+	if len(s.transit) == 0 {
+		return nil
+	}
+	var out []string
+	add := func(idx byte) {
+		h := s.aut.headers[idx-'a']
+		out = append(out,
+			fmt.Sprintf("recv%s(%s)", s.aut.mark(), h),
+			fmt.Sprintf("lose%s(%s)", s.aut.mark(), h))
+	}
+	if s.aut.kind == FIFOKind {
+		add(s.transit[0])
+	} else {
+		seen := make(map[byte]bool)
+		for i := 0; i < len(s.transit); i++ {
+			if !seen[s.transit[i]] {
+				seen[s.transit[i]] = true
+				add(s.transit[i])
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s chanState) Apply(a string) (State, error) {
+	verb, h, err := s.aut.parse(a)
+	if err != nil {
+		return nil, err
+	}
+	idx := -1
+	for i, hh := range s.aut.headers {
+		if hh == h {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("chan%s: unknown header %q", s.aut.mark(), h)
+	}
+	b := byte('a' + idx)
+	switch verb {
+	case "send":
+		if len(s.transit) >= s.aut.capacity {
+			return s, nil // full: silently dropped, input-enabledness kept
+		}
+		return chanState{aut: s.aut, transit: s.transit + string(b)}, nil
+	case "recv", "lose":
+		pos := -1
+		if s.aut.kind == FIFOKind {
+			if len(s.transit) > 0 && s.transit[0] == b {
+				pos = 0
+			}
+		} else {
+			pos = strings.IndexByte(s.transit, b)
+		}
+		if pos < 0 {
+			return nil, fmt.Errorf("chan%s: %s(%s) with no such packet in transit", s.aut.mark(), verb, h)
+		}
+		return chanState{aut: s.aut, transit: s.transit[:pos] + s.transit[pos+1:]}, nil
+	default:
+		return nil, fmt.Errorf("chan%s: unknown verb %q", s.aut.mark(), verb)
+	}
+}
+
+func (c *chanAut) parse(a string) (verb, header string, err error) {
+	open := strings.IndexByte(a, '(')
+	if open < 0 || !strings.HasSuffix(a, ")") {
+		return "", "", fmt.Errorf("chan%s: malformed action %q", c.mark(), a)
+	}
+	verb = strings.TrimSuffix(a[:open], "'")
+	return verb, a[open+1 : len(a)-1], nil
+}
+
+// NewAltBitT returns the alternating bit transmitter as an I/O automaton:
+// inputs send_msg and recv'(a0/a1); outputs send(d0/d1). The pending
+// counter stands in for the message queue (all messages identical).
+func NewAltBitT() Automaton { return &abtAut{} }
+
+type abtAut struct{}
+
+func (a *abtAut) Name() string { return "altbitT" }
+func (a *abtAut) Signature() map[string]Class {
+	return map[string]Class{
+		"send_msg":  Input,
+		"recv'(a0)": Input,
+		"recv'(a1)": Input,
+		"send(d0)":  Output,
+		"send(d1)":  Output,
+	}
+}
+func (a *abtAut) Init() State { return abtState{} }
+
+type abtState struct {
+	bit     int
+	pending int
+}
+
+func (s abtState) Key() string { return fmt.Sprintf("abT{bit=%d pend=%d}", s.bit, s.pending) }
+
+func (s abtState) Enabled() []string {
+	if s.pending == 0 {
+		return nil
+	}
+	return []string{fmt.Sprintf("send(d%d)", s.bit)}
+}
+
+func (s abtState) Apply(a string) (State, error) {
+	switch a {
+	case "send_msg":
+		return abtState{bit: s.bit, pending: s.pending + 1}, nil
+	case "recv'(a0)", "recv'(a1)":
+		ackBit := int(a[len(a)-2] - '0')
+		if s.pending > 0 && ackBit == s.bit {
+			return abtState{bit: s.bit ^ 1, pending: s.pending - 1}, nil
+		}
+		return s, nil // stale ack ignored (input-enabled)
+	case "send(d0)", "send(d1)":
+		if s.pending == 0 || int(a[len(a)-2]-'0') != s.bit {
+			return nil, fmt.Errorf("altbitT: %s not enabled in %s", a, s.Key())
+		}
+		return s, nil // retransmission: state unchanged
+	default:
+		return nil, fmt.Errorf("altbitT: unknown action %q", a)
+	}
+}
+
+// NewAltBitR returns the alternating bit receiver as an I/O automaton:
+// inputs recv(d0/d1); outputs send'(a0/a1) and receive_msg. Pending ack
+// and delivery counters saturate at cap to keep the state space finite.
+func NewAltBitR(cap int) Automaton {
+	if cap < 1 {
+		cap = 1
+	}
+	return &abrAut{cap: cap}
+}
+
+type abrAut struct{ cap int }
+
+func (a *abrAut) Name() string { return "altbitR" }
+func (a *abrAut) Signature() map[string]Class {
+	return map[string]Class{
+		"recv(d0)":    Input,
+		"recv(d1)":    Input,
+		"send'(a0)":   Output,
+		"send'(a1)":   Output,
+		"receive_msg": Output,
+	}
+}
+func (a *abrAut) Init() State { return abrState{cap: a.cap} }
+
+type abrState struct {
+	cap     int
+	expect  int
+	ackPend [2]int
+	deliver int
+}
+
+func (s abrState) Key() string {
+	return fmt.Sprintf("abR{exp=%d a0=%d a1=%d del=%d}", s.expect, s.ackPend[0], s.ackPend[1], s.deliver)
+}
+
+func (s abrState) Enabled() []string {
+	var out []string
+	for b := 0; b < 2; b++ {
+		if s.ackPend[b] > 0 {
+			out = append(out, fmt.Sprintf("send'(a%d)", b))
+		}
+	}
+	if s.deliver > 0 {
+		out = append(out, "receive_msg")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sat(v, cap int) int {
+	if v > cap {
+		return cap
+	}
+	return v
+}
+
+func (s abrState) Apply(a string) (State, error) {
+	switch a {
+	case "recv(d0)", "recv(d1)":
+		bit := int(a[len(a)-2] - '0')
+		n := s
+		n.ackPend[bit] = sat(n.ackPend[bit]+1, s.cap)
+		if bit == s.expect {
+			n.deliver = sat(n.deliver+1, s.cap)
+			n.expect ^= 1
+		}
+		return n, nil
+	case "send'(a0)", "send'(a1)":
+		bit := int(a[len(a)-2] - '0')
+		if s.ackPend[bit] == 0 {
+			return nil, fmt.Errorf("altbitR: %s not enabled", a)
+		}
+		n := s
+		n.ackPend[bit]--
+		return n, nil
+	case "receive_msg":
+		if s.deliver == 0 {
+			return nil, fmt.Errorf("altbitR: receive_msg not enabled")
+		}
+		n := s
+		n.deliver--
+		return n, nil
+	default:
+		return nil, fmt.Errorf("altbitR: unknown action %q", a)
+	}
+}
+
+// NewDLMonitor returns the data link specification monitor: it observes
+// send_msg and receive_msg and enters a sticky violation state when more
+// messages have been received than sent — the paper's invalid execution
+// rm = sm + 1. Counters saturate at cap.
+func NewDLMonitor(cap int) Automaton {
+	if cap < 1 {
+		cap = 1
+	}
+	return &monAut{cap: cap}
+}
+
+type monAut struct{ cap int }
+
+func (m *monAut) Name() string { return "dl-monitor" }
+func (m *monAut) Signature() map[string]Class {
+	return map[string]Class{"send_msg": Input, "receive_msg": Input}
+}
+func (m *monAut) Init() State { return monState{cap: m.cap} }
+
+type monState struct {
+	cap        int
+	sent, rcvd int
+	violated   bool
+}
+
+func (s monState) Key() string {
+	if s.violated {
+		return fmt.Sprintf("mon{VIOLATION sm=%d rm=%d}", s.sent, s.rcvd)
+	}
+	return fmt.Sprintf("mon{sm=%d rm=%d}", s.sent, s.rcvd)
+}
+
+func (s monState) Enabled() []string { return nil }
+
+func (s monState) Apply(a string) (State, error) {
+	n := s
+	switch a {
+	case "send_msg":
+		n.sent = sat(n.sent+1, s.cap)
+	case "receive_msg":
+		n.rcvd = sat(n.rcvd+1, s.cap+1)
+	default:
+		return nil, fmt.Errorf("dl-monitor: unknown action %q", a)
+	}
+	if n.rcvd > n.sent {
+		n.violated = true
+	}
+	return n, nil
+}
+
+// Violated reports whether a (possibly composite) state contains the
+// monitor's violation flag.
+func Violated(s State) bool { return strings.Contains(s.Key(), "VIOLATION") }
+
+// NewAltBitSystem composes the full Section-2 system around the alternating
+// bit protocol: user(n) ∥ A^t ∥ chan^{t→r} ∥ chan^{r→t} ∥ A^r ∥ monitor,
+// with the chosen channel discipline and capacity.
+func NewAltBitSystem(kind ChannelKind, messages, capacity int) (Automaton, error) {
+	return Compose("altbit-system",
+		NewUser(messages),
+		NewAltBitT(),
+		NewChannel(kind, false, []string{"d0", "d1"}, capacity),
+		NewChannel(kind, true, []string{"a0", "a1"}, capacity),
+		NewAltBitR(capacity),
+		NewDLMonitor(messages+1),
+	)
+}
+
+// WitnessTrace converts a Reach witness (a path of action names from the
+// model automata) into an ioa.Trace under the constant-payload convention,
+// so that a violation found in the I/O automaton formalism can be
+// independently re-checked by the trace checkers of internal/ioa — the
+// same cross-validation the concrete explorer's counterexamples get.
+// Internal channel actions (lose/lose') leave no external event.
+func WitnessTrace(path []string) (ioa.Trace, error) {
+	var tr ioa.Trace
+	sent, rcvd := 0, 0
+	for _, a := range path {
+		switch {
+		case a == "send_msg":
+			tr = append(tr, ioa.Event{Kind: ioa.SendMsg, Msg: ioa.Message{ID: sent, Payload: "m"}})
+			sent++
+		case a == "receive_msg":
+			tr = append(tr, ioa.Event{Kind: ioa.ReceiveMsg, Msg: ioa.Message{ID: rcvd, Payload: "m"}})
+			rcvd++
+		case strings.HasPrefix(a, "lose"):
+			// channel-internal: no external event
+		case strings.HasPrefix(a, "send'("), strings.HasPrefix(a, "recv'("):
+			h := a[strings.IndexByte(a, '(')+1 : len(a)-1]
+			kind := ioa.SendPkt
+			if strings.HasPrefix(a, "recv") {
+				kind = ioa.ReceivePkt
+			}
+			tr = append(tr, ioa.Event{Kind: kind, Dir: ioa.RtoT, Pkt: ioa.Packet{Header: h, Payload: "m"}})
+		case strings.HasPrefix(a, "send("), strings.HasPrefix(a, "recv("):
+			h := a[strings.IndexByte(a, '(')+1 : len(a)-1]
+			kind := ioa.SendPkt
+			if strings.HasPrefix(a, "recv") {
+				kind = ioa.ReceivePkt
+			}
+			tr = append(tr, ioa.Event{Kind: kind, Dir: ioa.TtoR, Pkt: ioa.Packet{Header: h, Payload: "m"}})
+		default:
+			return nil, fmt.Errorf("ioauto: unknown witness action %q", a)
+		}
+	}
+	return tr, nil
+}

@@ -1,0 +1,218 @@
+package ioauto
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The naive sequence-number protocol as I/O automata. For a *fixed* number
+// of messages n its alphabet is finite — data headers d0..d(n−1) and acks
+// a0..a(n−1) — so the composed system is finite-state and the protocol can
+// be *verified* (not just tested) safe over the unbounded-adversary
+// non-FIFO channel by exhausting the reachable states: the formal
+// counterpart of Theorem 3.1's "pay n headers and you escape".
+
+// NewSeqNumT returns the naive transmitter automaton for n messages:
+// inputs send_msg and recv'(a0..a(n−1)); outputs send(d0..d(n−1)).
+func NewSeqNumT(n int) Automaton {
+	if n < 1 {
+		n = 1
+	}
+	return &snTAut{n: n}
+}
+
+type snTAut struct{ n int }
+
+func (a *snTAut) Name() string { return "seqnumT" }
+
+func (a *snTAut) Signature() map[string]Class {
+	sig := map[string]Class{"send_msg": Input}
+	for i := 0; i < a.n; i++ {
+		sig[fmt.Sprintf("recv'(a%d)", i)] = Input
+		sig[fmt.Sprintf("send(d%d)", i)] = Output
+	}
+	return sig
+}
+
+func (a *snTAut) Init() State { return snTState{n: a.n} }
+
+type snTState struct {
+	n       int
+	seq     int // current (unconfirmed) sequence number
+	pending int // accepted, unconfirmed messages
+}
+
+func (s snTState) Key() string { return fmt.Sprintf("snT{seq=%d pend=%d}", s.seq, s.pending) }
+
+func (s snTState) Enabled() []string {
+	if s.pending == 0 || s.seq >= s.n {
+		return nil
+	}
+	return []string{fmt.Sprintf("send(d%d)", s.seq)}
+}
+
+func (s snTState) Apply(a string) (State, error) {
+	switch {
+	case a == "send_msg":
+		n := s
+		n.pending++
+		return n, nil
+	case strings.HasPrefix(a, "recv'(a"):
+		var i int
+		if _, err := fmt.Sscanf(a, "recv'(a%d)", &i); err != nil {
+			return nil, fmt.Errorf("seqnumT: malformed %q", a)
+		}
+		if i == s.seq && s.pending > 0 {
+			n := s
+			n.seq++
+			n.pending--
+			return n, nil
+		}
+		return s, nil // stale ack ignored
+	case strings.HasPrefix(a, "send(d"):
+		var i int
+		if _, err := fmt.Sscanf(a, "send(d%d)", &i); err != nil {
+			return nil, fmt.Errorf("seqnumT: malformed %q", a)
+		}
+		if s.pending == 0 || i != s.seq {
+			return nil, fmt.Errorf("seqnumT: %s not enabled in %s", a, s.Key())
+		}
+		return s, nil // retransmission self-loop
+	default:
+		return nil, fmt.Errorf("seqnumT: unknown action %q", a)
+	}
+}
+
+// NewSeqNumR returns the naive receiver automaton for n messages: inputs
+// recv(d0..d(n−1)); outputs send'(a0..a(n−1)) and receive_msg. Pending ack
+// and delivery counters saturate at cap.
+func NewSeqNumR(n, cap int) Automaton {
+	if n < 1 {
+		n = 1
+	}
+	if cap < 1 {
+		cap = 1
+	}
+	return &snRAut{n: n, cap: cap}
+}
+
+type snRAut struct{ n, cap int }
+
+func (a *snRAut) Name() string { return "seqnumR" }
+
+func (a *snRAut) Signature() map[string]Class {
+	sig := map[string]Class{"receive_msg": Output}
+	for i := 0; i < a.n; i++ {
+		sig[fmt.Sprintf("recv(d%d)", i)] = Input
+		sig[fmt.Sprintf("send'(a%d)", i)] = Output
+	}
+	return sig
+}
+
+func (a *snRAut) Init() State {
+	return snRState{n: a.n, cap: a.cap, ackPend: make([]int, a.n)}
+}
+
+type snRState struct {
+	n, cap  int
+	next    int
+	ackPend []int
+	deliver int
+}
+
+func (s snRState) clone() snRState {
+	c := s
+	c.ackPend = append([]int(nil), s.ackPend...)
+	return c
+}
+
+func (s snRState) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "snR{next=%d del=%d ack=", s.next, s.deliver)
+	for _, v := range s.ackPend {
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (s snRState) Enabled() []string {
+	var out []string
+	for i, v := range s.ackPend {
+		if v > 0 {
+			out = append(out, fmt.Sprintf("send'(a%d)", i))
+		}
+	}
+	if s.deliver > 0 {
+		out = append(out, "receive_msg")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s snRState) Apply(a string) (State, error) {
+	switch {
+	case strings.HasPrefix(a, "recv(d"):
+		var i int
+		if _, err := fmt.Sscanf(a, "recv(d%d)", &i); err != nil {
+			return nil, fmt.Errorf("seqnumR: malformed %q", a)
+		}
+		if i < 0 || i >= s.n {
+			return nil, fmt.Errorf("seqnumR: header %d out of range", i)
+		}
+		n := s.clone()
+		switch {
+		case i == s.next:
+			n.deliver = sat(n.deliver+1, s.cap)
+			n.next++
+			n.ackPend[i] = sat(n.ackPend[i]+1, s.cap)
+		case i < s.next:
+			// Stale duplicate: re-ack, never deliver.
+			n.ackPend[i] = sat(n.ackPend[i]+1, s.cap)
+		default:
+			// Future header: the transmitter never runs ahead; a replayed
+			// copy cannot exist either. Ignore.
+		}
+		return n, nil
+	case strings.HasPrefix(a, "send'(a"):
+		var i int
+		if _, err := fmt.Sscanf(a, "send'(a%d)", &i); err != nil {
+			return nil, fmt.Errorf("seqnumR: malformed %q", a)
+		}
+		if i < 0 || i >= s.n || s.ackPend[i] == 0 {
+			return nil, fmt.Errorf("seqnumR: %s not enabled", a)
+		}
+		n := s.clone()
+		n.ackPend[i]--
+		return n, nil
+	case a == "receive_msg":
+		if s.deliver == 0 {
+			return nil, fmt.Errorf("seqnumR: receive_msg not enabled")
+		}
+		n := s.clone()
+		n.deliver--
+		return n, nil
+	default:
+		return nil, fmt.Errorf("seqnumR: unknown action %q", a)
+	}
+}
+
+// NewSeqNumSystem composes the full Section-2 system around the naive
+// protocol for a fixed message count n, with channel capacity `capacity`.
+func NewSeqNumSystem(kind ChannelKind, n, capacity int) (Automaton, error) {
+	dataHeaders := make([]string, n)
+	ackHeaders := make([]string, n)
+	for i := 0; i < n; i++ {
+		dataHeaders[i] = fmt.Sprintf("d%d", i)
+		ackHeaders[i] = fmt.Sprintf("a%d", i)
+	}
+	return Compose("seqnum-system",
+		NewUser(n),
+		NewSeqNumT(n),
+		NewChannel(kind, false, dataHeaders, capacity),
+		NewChannel(kind, true, ackHeaders, capacity),
+		NewSeqNumR(n, capacity),
+		NewDLMonitor(n+1),
+	)
+}

@@ -1,0 +1,178 @@
+// Package mset provides a deterministic counted multiset.
+//
+// The multiset is the fundamental substrate of the non-FIFO physical
+// channel: a packet sent on the channel is an element added to the
+// in-transit multiset, and a delivery removes one copy. Because packets are
+// distinguished only by their value (the paper's "header" convention),
+// copies of equal packets are interchangeable, which is exactly the
+// counted-multiset semantics.
+//
+// All iteration orders are deterministic: elements are visited in the order
+// fixed by the comparison function supplied at construction. Determinism
+// matters because the adversary constructions in internal/adversary perform
+// exhaustive searches over channel behaviours and must be reproducible.
+package mset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Multiset is a counted multiset over a comparable element type T.
+// The zero value is not usable; construct with New.
+type Multiset[T comparable] struct {
+	counts map[T]int
+	keys   []T // sorted by less; contains exactly the keys with count > 0
+	less   func(a, b T) bool
+	size   int
+}
+
+// New returns an empty multiset whose deterministic iteration order is
+// defined by less, a strict weak ordering on T.
+func New[T comparable](less func(a, b T) bool) *Multiset[T] {
+	return &Multiset[T]{
+		counts: make(map[T]int),
+		less:   less,
+	}
+}
+
+// Add inserts n copies of v. n must be non-negative; Add panics on negative
+// n because that is always a programming error in this codebase (removals
+// go through Remove, which reports impossible removals as errors).
+func (m *Multiset[T]) Add(v T, n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("mset: Add with negative count %d", n))
+	}
+	if n == 0 {
+		return
+	}
+	if m.counts[v] == 0 {
+		m.insertKey(v)
+	}
+	m.counts[v] += n
+	m.size += n
+}
+
+// Remove deletes n copies of v. It returns an error if fewer than n copies
+// are present; the multiset is unchanged in that case.
+func (m *Multiset[T]) Remove(v T, n int) error {
+	if n < 0 {
+		return fmt.Errorf("mset: Remove with negative count %d", n)
+	}
+	have := m.counts[v]
+	if have < n {
+		return fmt.Errorf("mset: Remove %d copies of %v, only %d present", n, v, have)
+	}
+	if n == 0 {
+		return nil
+	}
+	if have == n {
+		delete(m.counts, v)
+		m.deleteKey(v)
+	} else {
+		m.counts[v] = have - n
+	}
+	m.size -= n
+	return nil
+}
+
+// Count reports how many copies of v are present.
+func (m *Multiset[T]) Count(v T) int { return m.counts[v] }
+
+// Len reports the total number of copies across all elements.
+func (m *Multiset[T]) Len() int { return m.size }
+
+// Distinct reports the number of distinct elements present.
+func (m *Multiset[T]) Distinct() int { return len(m.keys) }
+
+// Values returns the distinct elements in deterministic (sorted) order.
+// The returned slice is a copy.
+func (m *Multiset[T]) Values() []T {
+	out := make([]T, len(m.keys))
+	copy(out, m.keys)
+	return out
+}
+
+// ForEach visits each distinct element with its count, in deterministic
+// order. The callback must not mutate the multiset.
+func (m *Multiset[T]) ForEach(fn func(v T, n int)) {
+	for _, k := range m.keys {
+		fn(k, m.counts[k])
+	}
+}
+
+// Clone returns a deep copy sharing no state with m.
+func (m *Multiset[T]) Clone() *Multiset[T] {
+	c := &Multiset[T]{
+		counts: make(map[T]int, len(m.counts)),
+		keys:   make([]T, len(m.keys)),
+		less:   m.less,
+		size:   m.size,
+	}
+	for k, v := range m.counts {
+		c.counts[k] = v
+	}
+	copy(c.keys, m.keys)
+	return c
+}
+
+// Equal reports whether m and o contain exactly the same copies.
+func (m *Multiset[T]) Equal(o *Multiset[T]) bool {
+	if m.size != o.size || len(m.counts) != len(o.counts) {
+		return false
+	}
+	for k, v := range m.counts {
+		if o.counts[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether every copy in o is also present in m
+// (multiset inclusion: o ⊆ m).
+func (m *Multiset[T]) Contains(o *Multiset[T]) bool {
+	if o.size > m.size {
+		return false
+	}
+	for k, v := range o.counts {
+		if m.counts[k] < v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the multiset as "{v1×n1, v2×n2, ...}" in deterministic
+// order, primarily for certificates and test failure messages.
+func (m *Multiset[T]) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range m.keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%v×%d", k, m.counts[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Key returns a canonical string encoding of the multiset contents, usable
+// as a memoization key in adversary searches.
+func (m *Multiset[T]) Key() string { return m.String() }
+
+func (m *Multiset[T]) insertKey(v T) {
+	i := sort.Search(len(m.keys), func(i int) bool { return !m.less(m.keys[i], v) })
+	m.keys = append(m.keys, v)
+	copy(m.keys[i+1:], m.keys[i:])
+	m.keys[i] = v
+}
+
+func (m *Multiset[T]) deleteKey(v T) {
+	i := sort.Search(len(m.keys), func(i int) bool { return !m.less(m.keys[i], v) })
+	if i < len(m.keys) && m.keys[i] == v {
+		m.keys = append(m.keys[:i], m.keys[i+1:]...)
+	}
+}

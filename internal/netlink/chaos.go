@@ -1,0 +1,137 @@
+package netlink
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ChaosConn wraps a net.PacketConn with seeded, deterministic loss and
+// reordering on the *write* side: the non-FIFO physical layer of the paper,
+// imposed on a real socket.
+//
+//   - With probability DropProb a written datagram is silently discarded
+//     (an arbitrary delay that never ends).
+//   - With probability HoldProb a written datagram is held back; a held
+//     datagram is released after a later write, i.e. it overtakes —
+//     reordering, the non-FIFO behaviour.
+//
+// Reads are passed through untouched, so wrapping both endpoints of a path
+// perturbs both directions. The zero value of ChaosConfig is a transparent
+// wrapper.
+type ChaosConn struct {
+	inner net.PacketConn
+	cfg   ChaosConfig
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	held []heldPacket
+}
+
+// ChaosConfig parameterises a ChaosConn.
+type ChaosConfig struct {
+	// DropProb is the probability a written datagram is lost.
+	DropProb float64
+	// HoldProb is the probability a written datagram is delayed behind a
+	// later one (reordering).
+	HoldProb float64
+	// MaxHeld bounds the hold queue; beyond it datagrams pass through.
+	// Defaults to 32.
+	MaxHeld int
+	// Seed makes the chaos deterministic.
+	Seed int64
+}
+
+type heldPacket struct {
+	b    []byte
+	addr net.Addr
+}
+
+var _ net.PacketConn = (*ChaosConn)(nil)
+
+// NewChaosConn wraps inner with the given chaos configuration.
+func NewChaosConn(inner net.PacketConn, cfg ChaosConfig) *ChaosConn {
+	if cfg.MaxHeld == 0 {
+		cfg.MaxHeld = 32
+	}
+	return &ChaosConn{
+		inner: inner,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// WriteTo applies the loss/reorder discipline, then writes.
+func (c *ChaosConn) WriteTo(b []byte, addr net.Addr) (int, error) {
+	c.mu.Lock()
+	roll := c.rng.Float64()
+	hold := false
+	var release *heldPacket
+	switch {
+	case roll < c.cfg.DropProb:
+		c.mu.Unlock()
+		return len(b), nil // swallowed: an unbounded delay
+	case roll < c.cfg.DropProb+c.cfg.HoldProb && len(c.held) < c.cfg.MaxHeld:
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		c.held = append(c.held, heldPacket{b: cp, addr: addr})
+		hold = true
+	default:
+		// Passing through; maybe also release one held datagram behind
+		// this one (it has now been overtaken — reordering realised).
+		if len(c.held) > 0 && c.rng.Float64() < 0.5 {
+			release = &c.held[0]
+			c.held = c.held[1:]
+		}
+	}
+	c.mu.Unlock()
+
+	if hold {
+		return len(b), nil
+	}
+	n, err := c.inner.WriteTo(b, addr)
+	if err != nil {
+		return n, err
+	}
+	if release != nil {
+		_, _ = c.inner.WriteTo(release.b, release.addr)
+	}
+	return n, nil
+}
+
+// FlushHeld releases every held datagram (stale copies arriving at last).
+func (c *ChaosConn) FlushHeld() {
+	c.mu.Lock()
+	held := c.held
+	c.held = nil
+	c.mu.Unlock()
+	for _, h := range held {
+		_, _ = c.inner.WriteTo(h.b, h.addr)
+	}
+}
+
+// HeldCount reports the datagrams currently delayed.
+func (c *ChaosConn) HeldCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.held)
+}
+
+// ReadFrom delegates to the wrapped socket.
+func (c *ChaosConn) ReadFrom(b []byte) (int, net.Addr, error) { return c.inner.ReadFrom(b) }
+
+// Close delegates to the wrapped socket.
+func (c *ChaosConn) Close() error { return c.inner.Close() }
+
+// LocalAddr delegates to the wrapped socket.
+func (c *ChaosConn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// SetDeadline delegates to the wrapped socket.
+func (c *ChaosConn) SetDeadline(t time.Time) error { return c.inner.SetDeadline(t) }
+
+// SetReadDeadline delegates to the wrapped socket.
+func (c *ChaosConn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+
+// SetWriteDeadline delegates to the wrapped socket.
+func (c *ChaosConn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }

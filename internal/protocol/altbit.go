@@ -1,0 +1,161 @@
+package protocol
+
+import (
+	"strconv"
+
+	"repro/internal/channel"
+	"repro/internal/ioa"
+)
+
+// AltBit is the alternating bit protocol of Bartlett, Scantlebury and
+// Wilkinson [BSW69]: the canonical bounded-header protocol. It uses four
+// headers — data packets "d0"/"d1" and acknowledgements "a0"/"a1" — and a
+// constant amount of state at each endpoint.
+//
+// Over a lossy FIFO channel the protocol is correct. Over the paper's
+// non-FIFO channel it is unsafe: a delayed copy of an old data packet with
+// the currently expected bit is indistinguishable from a fresh one, and the
+// replay adversary (internal/adversary) finds a concrete execution with
+// rm = sm + 1, violating DL1. This is the executable form of the [LMF88]
+// impossibility that motivates the paper.
+type AltBit struct{}
+
+// NewAltBit returns the alternating bit protocol descriptor.
+func NewAltBit() AltBit { return AltBit{} }
+
+// Name implements Protocol.
+func (AltBit) Name() string { return "altbit" }
+
+// HeaderBound implements Protocol. The alphabet is {d0, d1, a0, a1}.
+func (AltBit) HeaderBound() (int, bool) { return 4, true }
+
+// New implements Protocol. The genies are ignored: the alternating bit
+// protocol has no channel oracle (which is exactly why it is unsafe here).
+func (AltBit) New(_, _ channel.Genie) (Transmitter, Receiver) {
+	return &altBitT{}, &altBitR{}
+}
+
+// altBitT is the alternating bit transmitter: resend the current data
+// packet until the matching ack arrives, then flip the bit.
+type altBitT struct {
+	bit     int
+	busy    bool
+	payload string
+	queue   []string
+}
+
+var _ Transmitter = (*altBitT)(nil)
+
+func (t *altBitT) SendMsg(payload string) {
+	if t.busy {
+		t.queue = append(t.queue, payload)
+		return
+	}
+	t.busy = true
+	t.payload = payload
+}
+
+func (t *altBitT) DeliverPkt(p ioa.Packet) {
+	if !t.busy {
+		return
+	}
+	if p.Header == "a"+strconv.Itoa(t.bit) {
+		// Current message acknowledged; move on.
+		t.busy = false
+		t.payload = ""
+		t.bit ^= 1
+		if len(t.queue) > 0 {
+			t.busy = true
+			t.payload = t.queue[0]
+			t.queue = t.queue[1:]
+		}
+	}
+	// Stale acks (wrong bit) are ignored.
+}
+
+func (t *altBitT) NextPkt() (ioa.Packet, bool) {
+	if !t.busy {
+		return ioa.Packet{}, false
+	}
+	return ioa.Packet{Header: "d" + strconv.Itoa(t.bit), Payload: t.payload}, true
+}
+
+func (t *altBitT) Busy() bool { return t.busy || len(t.queue) > 0 }
+
+func (t *altBitT) Clone() Transmitter {
+	c := *t
+	c.queue = cloneQueue(t.queue)
+	return &c
+}
+
+func (t *altBitT) StateKey() string {
+	return keyf("altbitT{bit=%d busy=%t payload=%q q=%s}", t.bit, t.busy, t.payload, joinQueue(t.queue))
+}
+
+func (t *altBitT) StateSize() int {
+	return 2 + len(t.payload) + queueBytes(t.queue)
+}
+
+// altBitR is the alternating bit receiver: deliver a data packet whose bit
+// matches the expected bit, acknowledge every data packet with its own bit.
+type altBitR struct {
+	expect    int
+	delivered []string
+	acks      []ioa.Packet
+}
+
+var _ Receiver = (*altBitR)(nil)
+
+func (r *altBitR) DeliverPkt(p ioa.Packet) {
+	var bit int
+	switch p.Header {
+	case "d0":
+		bit = 0
+	case "d1":
+		bit = 1
+	default:
+		return // not a data packet; ignore
+	}
+	// Acknowledge with the packet's own bit (also for duplicates, so a
+	// lost ack is eventually repaired by the retransmitted data packet).
+	r.acks = append(r.acks, ioa.Packet{Header: "a" + strconv.Itoa(bit)})
+	if bit == r.expect {
+		r.delivered = append(r.delivered, p.Payload)
+		r.expect ^= 1
+	}
+}
+
+func (r *altBitR) NextPkt() (ioa.Packet, bool) {
+	if len(r.acks) == 0 {
+		return ioa.Packet{}, false
+	}
+	p := r.acks[0]
+	r.acks = r.acks[1:]
+	return p, true
+}
+
+func (r *altBitR) TakeDelivered() []string {
+	out := r.delivered
+	r.delivered = nil
+	return out
+}
+
+func (r *altBitR) Clone() Receiver {
+	c := *r
+	c.delivered = cloneQueue(r.delivered)
+	if len(r.acks) > 0 {
+		c.acks = make([]ioa.Packet, len(r.acks))
+		copy(c.acks, r.acks)
+	} else {
+		c.acks = nil
+	}
+	return &c
+}
+
+func (r *altBitR) StateKey() string {
+	return keyf("altbitR{expect=%d pendAcks=%d pendDeliv=%d}", r.expect, len(r.acks), len(r.delivered))
+}
+
+func (r *altBitR) StateSize() int {
+	return 1 + len(r.acks) + queueBytes(r.delivered)
+}

@@ -1,0 +1,255 @@
+package protocol
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/channel"
+	"repro/internal/ioa"
+)
+
+// CntK generalises the counting protocol from an alternating bit to K
+// cycling headers: message i uses data header "cK:<i mod K>" and ack header
+// "kK:<i mod K>", so the alphabet has 2K letters.
+//
+// The point of the generalisation is Theorem 4.1's 1/k factor. With L stale
+// packets spread over the protocol's headers, each phase's acceptance
+// threshold counts only the stale copies of *its own* header — about L/K of
+// them — so the per-message packet cost is ≈ L/K + 1. Sweeping K at fixed L
+// (experiment E10) traces the ⌊l/k⌋ lower bound of Theorem 4.1 directly,
+// and interpolates between cntlinear (K = 2) and the naive protocol
+// (K → n, cost O(1), headers Θ(n)).
+//
+// Safety relies on the same snapshot argument as the K = 2 protocol: when
+// the receiver accepts phase i−1 it snapshots the in-transit copies of
+// header (i mod K); the most recent phase that used this header is i−K, so
+// every snapshotted copy is stale, and any copy delivered later either was
+// in transit at the snapshot (counted) or is fresh.
+type CntK struct {
+	// K is the number of cycling data headers; values < 2 are treated
+	// as 2.
+	K int
+}
+
+var _ Protocol = CntK{}
+
+// NewCntK returns a K-header counting protocol descriptor.
+func NewCntK(k int) CntK {
+	if k < 2 {
+		k = 2
+	}
+	return CntK{K: k}
+}
+
+// Name implements Protocol.
+func (p CntK) Name() string { return "cntk" + strconv.Itoa(p.K) }
+
+// HeaderBound implements Protocol: K data + K ack headers.
+func (p CntK) HeaderBound() (int, bool) { return 2 * p.K, true }
+
+// New implements Protocol.
+func (p CntK) New(dataGenie, ackGenie channel.Genie) (Transmitter, Receiver) {
+	if dataGenie == nil {
+		dataGenie = channel.NoGenie{}
+	}
+	if ackGenie == nil {
+		ackGenie = channel.NoGenie{}
+	}
+	k := p.K
+	if k < 2 {
+		k = 2
+	}
+	t := &cntkT{k: k, ackGenie: ackGenie}
+	r := &cntkR{k: k, dataGenie: dataGenie, lastAccepted: -1}
+	r.snapshot()
+	return t, r
+}
+
+func cntkDataHeader(k, phase int) string { return "c" + strconv.Itoa(k) + ":" + strconv.Itoa(phase%k) }
+func cntkAckHeader(k, phase int) string  { return "k" + strconv.Itoa(k) + ":" + strconv.Itoa(phase%k) }
+
+// cntkT is the K-header counting transmitter.
+type cntkT struct {
+	k        int
+	ackGenie channel.Genie
+
+	phase   int // number of confirmed messages; current phase index
+	busy    bool
+	payload string
+	queue   []string
+
+	ackStale int
+	ackFresh int
+}
+
+var _ Transmitter = (*cntkT)(nil)
+var _ AckGenieUser = (*cntkT)(nil)
+
+// SetAckGenie implements AckGenieUser.
+func (t *cntkT) SetAckGenie(g channel.Genie) {
+	if g == nil {
+		g = channel.NoGenie{}
+	}
+	t.ackGenie = g
+}
+
+func (t *cntkT) SendMsg(payload string) {
+	if t.busy {
+		t.queue = append(t.queue, payload)
+		return
+	}
+	t.startPhase(payload)
+}
+
+func (t *cntkT) startPhase(payload string) {
+	t.busy = true
+	t.payload = payload
+	t.ackFresh = 0
+	t.ackStale = t.ackGenie.Stale(cntkAckHeader(t.k, t.phase))
+}
+
+func (t *cntkT) DeliverPkt(p ioa.Packet) {
+	if !t.busy || p.Header != cntkAckHeader(t.k, t.phase) {
+		return
+	}
+	t.ackFresh++
+	if t.ackFresh > t.ackStale {
+		t.busy = false
+		t.payload = ""
+		t.phase++
+		if len(t.queue) > 0 {
+			next := t.queue[0]
+			t.queue = t.queue[1:]
+			t.startPhase(next)
+		}
+	}
+}
+
+func (t *cntkT) NextPkt() (ioa.Packet, bool) {
+	if !t.busy {
+		return ioa.Packet{}, false
+	}
+	return ioa.Packet{Header: cntkDataHeader(t.k, t.phase), Payload: t.payload}, true
+}
+
+func (t *cntkT) Busy() bool { return t.busy || len(t.queue) > 0 }
+
+func (t *cntkT) Clone() Transmitter {
+	c := *t
+	c.queue = cloneQueue(t.queue)
+	return &c
+}
+
+func (t *cntkT) StateKey() string {
+	return keyf("cntk%dT{phase=%d busy=%t payload=%q stale=%d fresh=%d q=%s}",
+		t.k, t.phase, t.busy, t.payload, t.ackStale, t.ackFresh, joinQueue(t.queue))
+}
+
+func (t *cntkT) StateSize() int {
+	return 1 + len(t.payload) + queueBytes(t.queue) +
+		len(strconv.Itoa(t.phase)) + len(strconv.Itoa(t.ackStale)) + len(strconv.Itoa(t.ackFresh))
+}
+
+// cntkR is the K-header counting receiver.
+type cntkR struct {
+	k         int
+	dataGenie channel.Genie
+
+	accepted     int // number of accepted phases; expects header accepted mod K
+	lastAccepted int // phase index of the most recent acceptance; -1 before any
+	staleSnap    int
+	fresh        map[string]int
+
+	delivered []string
+	acks      []ioa.Packet
+}
+
+var _ Receiver = (*cntkR)(nil)
+var _ DataGenieUser = (*cntkR)(nil)
+
+// SetDataGenie implements DataGenieUser.
+func (r *cntkR) SetDataGenie(g channel.Genie) {
+	if g == nil {
+		g = channel.NoGenie{}
+	}
+	r.dataGenie = g
+}
+
+func (r *cntkR) snapshot() {
+	r.staleSnap = r.dataGenie.Stale(cntkDataHeader(r.k, r.accepted))
+	r.fresh = make(map[string]int)
+}
+
+func (r *cntkR) DeliverPkt(p ioa.Packet) {
+	switch {
+	case p.Header == cntkDataHeader(r.k, r.accepted):
+		r.fresh[p.Payload]++
+		if r.fresh[p.Payload] > r.staleSnap {
+			r.delivered = append(r.delivered, p.Payload)
+			r.lastAccepted = r.accepted
+			r.accepted++
+			r.snapshot()
+			r.acks = append(r.acks, ioa.Packet{Header: cntkAckHeader(r.k, r.lastAccepted)})
+		}
+	case r.lastAccepted >= 0 && p.Header == cntkDataHeader(r.k, r.lastAccepted):
+		// A copy of the most recently accepted phase: re-acknowledge so
+		// the transmitter can cross its counting threshold. Copies of
+		// older phases are ignored (never acked — a fresh ack must prove
+		// acceptance of the phase the transmitter is waiting on).
+		r.acks = append(r.acks, ioa.Packet{Header: cntkAckHeader(r.k, r.lastAccepted)})
+	}
+}
+
+func (r *cntkR) NextPkt() (ioa.Packet, bool) {
+	if len(r.acks) == 0 {
+		return ioa.Packet{}, false
+	}
+	p := r.acks[0]
+	r.acks = r.acks[1:]
+	return p, true
+}
+
+func (r *cntkR) TakeDelivered() []string {
+	out := r.delivered
+	r.delivered = nil
+	return out
+}
+
+func (r *cntkR) Clone() Receiver {
+	c := *r
+	c.delivered = cloneQueue(r.delivered)
+	if len(r.acks) > 0 {
+		c.acks = make([]ioa.Packet, len(r.acks))
+		copy(c.acks, r.acks)
+	} else {
+		c.acks = nil
+	}
+	c.fresh = make(map[string]int, len(r.fresh))
+	for k, v := range r.fresh {
+		c.fresh[k] = v
+	}
+	return &c
+}
+
+func (r *cntkR) StateKey() string {
+	keys := make([]string, 0, len(r.fresh))
+	for k := range r.fresh {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fresh := ""
+	for _, k := range keys {
+		fresh += k + "=" + strconv.Itoa(r.fresh[k]) + ";"
+	}
+	return keyf("cntk%dR{accepted=%d last=%d stale=%d fresh=%s pendAcks=%d}",
+		r.k, r.accepted, r.lastAccepted, r.staleSnap, fresh, len(r.acks))
+}
+
+func (r *cntkR) StateSize() int {
+	n := 2 + len(r.acks) + queueBytes(r.delivered)
+	n += len(strconv.Itoa(r.accepted)) + len(strconv.Itoa(r.staleSnap))
+	for k, v := range r.fresh {
+		n += len(k) + len(strconv.Itoa(v))
+	}
+	return n
+}

@@ -1,0 +1,171 @@
+package protocol
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/ioa"
+)
+
+func TestCntKNameAndBound(t *testing.T) {
+	p := NewCntK(8)
+	if p.Name() != "cntk8" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	if k, bounded := p.HeaderBound(); !bounded || k != 16 {
+		t.Fatalf("HeaderBound = %d,%t", k, bounded)
+	}
+	if NewCntK(0).K != 2 {
+		t.Fatal("K should clamp to 2")
+	}
+}
+
+func TestCntKHandshake(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 8} {
+		k := k
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			tx, rx := NewCntK(k).New(channel.NoGenie{}, channel.NoGenie{})
+			for i := 0; i < 2*k+1; i++ {
+				want := fmt.Sprintf("m%d", i)
+				tx.SendMsg(want)
+				sent := pump(t, tx, rx, 10000)
+				if sent != 1 {
+					t.Fatalf("message %d took %d packets on a perfect channel", i, sent)
+				}
+				got := deliverAll(t, rx)
+				if len(got) != 1 || got[0] != want {
+					t.Fatalf("message %d delivered %v", i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestCntKHeaderCycling(t *testing.T) {
+	tx, rx := NewCntK(3).New(channel.NoGenie{}, channel.NoGenie{})
+	var headers []string
+	for i := 0; i < 6; i++ {
+		tx.SendMsg("x")
+		p, ok := tx.NextPkt()
+		if !ok {
+			t.Fatal("no packet")
+		}
+		headers = append(headers, p.Header)
+		rx.DeliverPkt(p)
+		for {
+			a, ok := rx.NextPkt()
+			if !ok {
+				break
+			}
+			tx.DeliverPkt(a)
+		}
+		deliverAll(t, rx)
+	}
+	want := []string{"c3:0", "c3:1", "c3:2", "c3:0", "c3:1", "c3:2"}
+	for i := range want {
+		if headers[i] != want[i] {
+			t.Fatalf("headers = %v, want %v", headers, want)
+		}
+	}
+}
+
+func TestCntKThresholdCountsOwnHeaderOnly(t *testing.T) {
+	// Stale copies of other headers must not inflate the threshold: with
+	// stale copies only on c4:1..c4:3, phase 0 accepts on the first copy.
+	g := genieStub{stale: map[string]int{"c4:1": 5, "c4:2": 5, "c4:3": 5}}
+	_, rx := NewCntK(4).New(g, channel.NoGenie{})
+	rx.DeliverPkt(ioa.Packet{Header: "c4:0", Payload: "m0"})
+	if got := rx.TakeDelivered(); len(got) != 1 {
+		t.Fatalf("phase 0 should accept immediately, got %v", got)
+	}
+}
+
+func TestCntKRefusesStaleFloodOfOwnHeader(t *testing.T) {
+	const S = 4
+	g := genieStub{stale: map[string]int{"c4:0": S}}
+	_, rx := NewCntK(4).New(g, channel.NoGenie{})
+	stale := ioa.Packet{Header: "c4:0", Payload: "old"}
+	for i := 0; i < S; i++ {
+		rx.DeliverPkt(stale)
+	}
+	if got := rx.TakeDelivered(); len(got) != 0 {
+		t.Fatalf("accepted with only stale copies: %v", got)
+	}
+	rx.DeliverPkt(stale)
+	if got := rx.TakeDelivered(); len(got) != 1 {
+		t.Fatalf("should accept after S+1 copies, got %v", got)
+	}
+}
+
+func TestCntKOlderPhaseCopiesNotAcked(t *testing.T) {
+	tx, rx := NewCntK(4).New(channel.NoGenie{}, channel.NoGenie{})
+	// Deliver three messages so phases 0..2 are accepted.
+	for i := 0; i < 3; i++ {
+		tx.SendMsg(fmt.Sprintf("m%d", i))
+		pump(t, tx, rx, 1000)
+		deliverAll(t, rx)
+	}
+	// A stale copy of phase 0's header (two acceptances ago) is ignored.
+	rx.DeliverPkt(ioa.Packet{Header: "c4:0", Payload: "m0"})
+	if _, ok := rx.NextPkt(); ok {
+		t.Fatal("copies of phases older than the last accepted must not be acked")
+	}
+	// A stale copy of the most recent phase (c4:2) is re-acked.
+	rx.DeliverPkt(ioa.Packet{Header: "c4:2", Payload: "m2"})
+	a, ok := rx.NextPkt()
+	if !ok || a.Header != "k4:2" {
+		t.Fatalf("expected re-ack k4:2, got %v,%t", a, ok)
+	}
+}
+
+func TestCntKEquivalentShapeToCntLinearAtK2(t *testing.T) {
+	// At K=2 the per-message cost against S stale copies matches the
+	// alternating counting protocol's S+1.
+	const S = 6
+	g := genieStub{stale: map[string]int{"c2:0": S}}
+	tx, rx := NewCntK(2).New(g, channel.NoGenie{})
+	tx.SendMsg("m")
+	sent := pump(t, tx, rx, 1<<20)
+	if sent != S+1 {
+		t.Fatalf("sent %d, want %d", sent, S+1)
+	}
+}
+
+func TestCntKGenieRebinding(t *testing.T) {
+	tx, rx := NewCntK(3).New(channel.NoGenie{}, channel.NoGenie{})
+	g := genieStub{stale: map[string]int{"c3:1": 7}}
+	if u, ok := rx.(DataGenieUser); ok {
+		u.SetDataGenie(g)
+	} else {
+		t.Fatal("cntk receiver should support genie rebinding")
+	}
+	if u, ok := tx.(AckGenieUser); ok {
+		u.SetAckGenie(channel.NoGenie{})
+	} else {
+		t.Fatal("cntk transmitter should support genie rebinding")
+	}
+	// Accept phase 0; the snapshot for phase 1 must consult the new genie.
+	rx.DeliverPkt(ioa.Packet{Header: "c3:0", Payload: "m0"})
+	deliverAll(t, rx)
+	stale := ioa.Packet{Header: "c3:1", Payload: "old"}
+	for i := 0; i < 7; i++ {
+		rx.DeliverPkt(stale)
+	}
+	if got := rx.TakeDelivered(); len(got) != 0 {
+		t.Fatalf("rebound genie ignored: %v", got)
+	}
+}
+
+func TestCntKCloneIndependence(t *testing.T) {
+	tx, rx := NewCntK(4).New(channel.NoGenie{}, channel.NoGenie{})
+	tx.SendMsg("m0")
+	tc, rc := tx.Clone(), rx.Clone()
+	pump(t, tc, rc, 1000)
+	if !tx.Busy() {
+		t.Fatal("clone run mutated original")
+	}
+	if got := rx.TakeDelivered(); len(got) != 0 {
+		t.Fatalf("original receiver delivered %v", got)
+	}
+}

@@ -1,0 +1,173 @@
+// Package protocol implements data link layer protocols (Mansour &
+// Schieber, PODC '89, Section 2.3) as pairs of deterministic, cloneable
+// endpoint automata.
+//
+// Each protocol is a pair (A^t, A^r): a Transmitter automaton at the
+// transmitting station and a Receiver automaton at the receiving station.
+// The endpoints communicate only through packets handed to the channels by
+// the simulation engine (internal/sim) or by an adversary
+// (internal/adversary); they expose Clone and StateKey so the adversary
+// constructions can branch executions and detect repeated joint states,
+// which is how the paper's proofs manipulate executions.
+//
+// The implemented protocols span the design space the paper discusses:
+//
+//   - seqnum   — the naive protocol: the i-th message uses the i-th header;
+//     n headers for n messages, O(log n) space, O(1) packets per
+//     message. The paper's Theorem 3.1 shows its header usage is
+//     optimal for any space-bounded protocol.
+//   - altbit   — the alternating bit protocol [BSW69]: 4 headers,
+//     finite-state, correct over lossy FIFO channels but unsafe
+//     over non-FIFO channels (the replay adversary proves it).
+//   - cntlinear — an Afek-style counting protocol with a stale-copy genie:
+//     Θ(packets-in-transit) packets per message, the tight upper
+//     bound shape of Theorem 4.1. See DESIGN.md §2 for the genie
+//     substitution argument.
+//   - cntexp   — an AFWZ-style pessimistic counting protocol: packet cost
+//     grows exponentially in the number of messages even on a
+//     perfect channel, matching the paper's description of
+//     [AFWZ88].
+//   - cheat(d) — cntlinear with its acceptance threshold under-provisioned
+//     by d copies; exists to be broken by the replay adversary,
+//     demonstrating the Theorem 4.1 mechanism.
+package protocol
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/channel"
+	"repro/internal/ioa"
+)
+
+// Transmitter is the data link automaton A^t at the transmitting station.
+//
+// Inputs are SendMsg (from the higher layer) and DeliverPkt (receive_pkt on
+// the r→t channel). NextPkt performs one enabled send_pkt^{t→r} output
+// action, mutating the automaton state; retransmission is modelled by
+// NextPkt remaining enabled while the automaton is Busy.
+type Transmitter interface {
+	// SendMsg accepts a message from the higher layer. Messages are
+	// queued; the protocol works on them in FIFO order.
+	SendMsg(payload string)
+	// DeliverPkt delivers a packet arriving on the r→t channel.
+	DeliverPkt(p ioa.Packet)
+	// NextPkt performs one enabled send_pkt^{t→r} action and returns the
+	// packet, or ok=false if no output action is currently enabled.
+	NextPkt() (ioa.Packet, bool)
+	// Busy reports whether the automaton has an accepted message whose
+	// delivery it has not yet confirmed, or queued messages.
+	Busy() bool
+	// Clone returns an independent deep copy.
+	Clone() Transmitter
+	// StateKey returns a canonical encoding of the automaton state.
+	StateKey() string
+	// StateSize returns a proxy for the space used by the automaton
+	// state, in abstract units (counter words + queued payload bytes).
+	StateSize() int
+}
+
+// Receiver is the data link automaton A^r at the receiving station.
+type Receiver interface {
+	// DeliverPkt delivers a packet arriving on the t→r channel.
+	DeliverPkt(p ioa.Packet)
+	// NextPkt performs one enabled send_pkt^{r→t} action (an
+	// acknowledgement) and returns the packet, or ok=false if none is
+	// enabled.
+	NextPkt() (ioa.Packet, bool)
+	// TakeDelivered drains the payloads of messages delivered to the
+	// higher layer (receive_msg actions) since the previous call.
+	TakeDelivered() []string
+	// Clone returns an independent deep copy.
+	Clone() Receiver
+	// StateKey returns a canonical encoding of the automaton state.
+	StateKey() string
+	// StateSize returns a proxy for the space used by the automaton state.
+	StateSize() int
+}
+
+// Protocol describes a data link protocol and constructs endpoint pairs.
+type Protocol interface {
+	// Name returns the protocol's registry name.
+	Name() string
+	// HeaderBound returns the size of the protocol's static packet
+	// alphabet. bounded is false when the alphabet grows with the number
+	// of messages (as for seqnum).
+	HeaderBound() (k int, bounded bool)
+	// New constructs a fresh endpoint pair. dataGenie reports stale
+	// in-transit copies on the t→r channel (used by counting receivers);
+	// ackGenie reports stale copies on the r→t channel (used by counting
+	// transmitters). Protocols that need no oracle ignore them; passing
+	// channel.NoGenie{} is always allowed.
+	New(dataGenie, ackGenie channel.Genie) (Transmitter, Receiver)
+}
+
+// AckGenieUser is implemented by transmitters that consult a stale-copy
+// oracle for the r→t channel. When an endpoint is cloned into a forked
+// execution (sim.Runner.Fork), the harness rebinds the genie to the forked
+// channel through this hook; the endpoints only read the genie at phase
+// starts, so rebinding between phases is safe.
+type AckGenieUser interface {
+	SetAckGenie(g channel.Genie)
+}
+
+// DataGenieUser is the receiver-side analogue of AckGenieUser, for the t→r
+// channel oracle.
+type DataGenieUser interface {
+	SetDataGenie(g channel.Genie)
+}
+
+// Registry returns all built-in protocols keyed by name. The cheat variants
+// are included with their default under-provisioning d=1.
+func Registry() map[string]Protocol {
+	ps := []Protocol{
+		NewSeqNum(),
+		NewAltBit(),
+		NewCntLinear(),
+		NewCntExp(),
+		NewCntK(4),
+		NewCheat(1),
+	}
+	m := make(map[string]Protocol, len(ps))
+	for _, p := range ps {
+		m[p.Name()] = p
+	}
+	return m
+}
+
+// Names returns the registry names in sorted order.
+func Names() []string {
+	m := Registry()
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// keyf builds canonical state keys.
+func keyf(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+// joinQueue encodes a payload queue into a state key component.
+func joinQueue(q []string) string { return strings.Join(q, "|") }
+
+// queueBytes is a space proxy for queued payloads.
+func queueBytes(q []string) int {
+	n := 0
+	for _, s := range q {
+		n += len(s)
+	}
+	return n
+}
+
+// cloneQueue deep-copies a payload queue.
+func cloneQueue(q []string) []string {
+	if len(q) == 0 {
+		return nil
+	}
+	out := make([]string, len(q))
+	copy(out, q)
+	return out
+}

@@ -1,0 +1,397 @@
+// Package sim drives a data link protocol over a pair of non-FIFO physical
+// channels and records the resulting execution.
+//
+// The runner owns all scheduling: it alternates transmitter output steps
+// with receiver acknowledgement drains, consults a channel.Policy for the
+// fate of every sent packet, and assigns the bookkeeping message IDs used
+// by the ioa trace checkers. Everything is deterministic given the
+// protocol, the policies and their seeds.
+//
+// Adversaries (internal/adversary) reuse the runner's step-level API —
+// SubmitMsg, StepTransmit, DrainAcks, DeliverStale — to construct the
+// executions of the paper's proofs, instead of the message-level Run loop.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"repro/internal/channel"
+	"repro/internal/ioa"
+	"repro/internal/protocol"
+)
+
+// ErrStalled is wrapped by run errors when the protocol stops making
+// progress within the configured step budget: an operational liveness (DL3)
+// failure.
+var ErrStalled = errors.New("protocol stalled: liveness budget exhausted")
+
+// Config describes one simulation.
+type Config struct {
+	// Protocol selects the data link protocol to run.
+	Protocol protocol.Protocol
+	// DataPolicy decides the fate of packets on the t→r channel.
+	// Defaults to channel.Reliable().
+	DataPolicy channel.Policy
+	// AckPolicy decides the fate of packets on the r→t channel.
+	// Defaults to channel.Reliable().
+	AckPolicy channel.Policy
+	// StepBudget bounds the number of transmitter steps per message; when
+	// exhausted the run fails with ErrStalled. Defaults to 1 << 20.
+	StepBudget int
+	// Payload generates the i-th message payload. Defaults to "msg-<i>".
+	// Experiments that use the paper's "all messages are the same"
+	// convention supply a constant function.
+	Payload func(i int) string
+	// RecordTrace enables full trace recording. Metric counters are
+	// collected either way; traces are needed for checking and
+	// certificates but dominate memory on long runs.
+	RecordTrace bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.DataPolicy == nil {
+		c.DataPolicy = channel.Reliable()
+	}
+	if c.AckPolicy == nil {
+		c.AckPolicy = channel.Reliable()
+	}
+	if c.StepBudget == 0 {
+		c.StepBudget = 1 << 20
+	}
+	if c.Payload == nil {
+		c.Payload = func(i int) string { return "msg-" + strconv.Itoa(i) }
+	}
+	return c
+}
+
+// Metrics aggregates the resource measurements of a run — the paper's three
+// efficiency parameters (packets, headers, space) plus channel occupancy.
+type Metrics struct {
+	// DataPacketsPerMessage is the number of send_pkt^{t→r} actions
+	// attributed to each message, in order. Sends are attributed to the
+	// most recently submitted message; when several messages are
+	// submitted before running to idle (windowed transports), the
+	// attribution is to the batch's last message — use TotalDataPackets
+	// for cross-message aggregates in that case.
+	DataPacketsPerMessage []int
+	// TotalDataPackets is the total send_pkt^{t→r} count.
+	TotalDataPackets int
+	// TotalAckPackets is the total send_pkt^{r→t} count.
+	TotalAckPackets int
+	// HeadersUsed is the number of distinct packet headers sent on either
+	// channel — the paper's header metric.
+	HeadersUsed int
+	// MaxInTransitData is the peak t→r channel occupancy.
+	MaxInTransitData int
+	// MaxStateSize is the peak combined endpoint state size (the paper's
+	// space/boundness parameter, measured through StateSize proxies).
+	MaxStateSize int
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Trace is the recorded execution (nil unless Config.RecordTrace).
+	Trace ioa.Trace
+	// Delivered lists the payloads delivered to the higher layer.
+	Delivered []string
+	// Metrics holds the resource measurements.
+	Metrics Metrics
+	// Err is non-nil if the run failed (liveness budget exhausted).
+	Err error
+}
+
+// Runner drives one protocol instance over two non-FIFO channels.
+type Runner struct {
+	cfg Config
+
+	T protocol.Transmitter
+	R protocol.Receiver
+	// ChData is the t→r physical channel; ChAck is the r→t channel.
+	ChData, ChAck *channel.NonFIFO
+
+	rec       *ioa.Recorder
+	headers   map[string]bool
+	sent      int // send_msg counter (message IDs)
+	delivered []string
+	metrics   Metrics
+	curMsg    int // index of the message data packets are attributed to
+}
+
+// NewRunner constructs a runner; the protocol's genies are wired to the
+// live channels.
+func NewRunner(cfg Config) *Runner {
+	cfg = cfg.withDefaults()
+	chData := channel.NewNonFIFO(ioa.TtoR)
+	chAck := channel.NewNonFIFO(ioa.RtoT)
+	t, r := cfg.Protocol.New(channel.ChannelGenie{Ch: chData}, channel.ChannelGenie{Ch: chAck})
+	run := &Runner{
+		cfg:     cfg,
+		T:       t,
+		R:       r,
+		ChData:  chData,
+		ChAck:   chAck,
+		headers: make(map[string]bool),
+		curMsg:  -1,
+	}
+	if cfg.RecordTrace {
+		run.rec = ioa.NewRecorder()
+	}
+	return run
+}
+
+// SetPolicies replaces the channel policies from this point on. The
+// boundness definitions quantify over executions where "the physical layer
+// starts behaving in the optimal way" from some point; switching to
+// channel.Reliable() is exactly that point.
+func (r *Runner) SetPolicies(data, ack channel.Policy) {
+	if data != nil {
+		r.cfg.DataPolicy = data
+	}
+	if ack != nil {
+		r.cfg.AckPolicy = ack
+	}
+}
+
+// Fork returns an independent copy of the runner — endpoints, channels and
+// trace all deep-copied — with the given channel policies installed (nil
+// keeps reliable delivery). Adversaries use forks to explore speculative
+// extensions of the current execution, mirroring the proofs' branching over
+// channel behaviours.
+func (r *Runner) Fork(data, ack channel.Policy) *Runner {
+	if data == nil {
+		data = channel.Reliable()
+	}
+	if ack == nil {
+		ack = channel.Reliable()
+	}
+	cfg := r.cfg
+	cfg.DataPolicy = data
+	cfg.AckPolicy = ack
+	f := &Runner{
+		cfg:       cfg,
+		T:         r.T.Clone(),
+		R:         r.R.Clone(),
+		ChData:    r.ChData.Clone(),
+		ChAck:     r.ChAck.Clone(),
+		headers:   make(map[string]bool, len(r.headers)),
+		sent:      r.sent,
+		delivered: append([]string(nil), r.delivered...),
+		metrics:   r.metrics,
+		curMsg:    r.curMsg,
+	}
+	f.metrics.DataPacketsPerMessage = append([]int(nil), r.metrics.DataPacketsPerMessage...)
+	for h := range r.headers {
+		f.headers[h] = true
+	}
+	if r.rec != nil {
+		f.rec = r.rec.Clone()
+	}
+	// Rebind channel genies to the forked channels; the clones still point
+	// at the original runner's channels otherwise.
+	if tg, ok := f.T.(protocol.AckGenieUser); ok {
+		tg.SetAckGenie(channel.ChannelGenie{Ch: f.ChAck})
+	}
+	if rg, ok := f.R.(protocol.DataGenieUser); ok {
+		rg.SetDataGenie(channel.ChannelGenie{Ch: f.ChData})
+	}
+	return f
+}
+
+// Run delivers n messages and returns the result. A liveness failure is
+// reported in Result.Err; the partial result remains inspectable.
+func (r *Runner) Run(n int) Result {
+	for i := 0; i < n; i++ {
+		if err := r.RunMessage(r.cfg.Payload(i)); err != nil {
+			return r.result(fmt.Errorf("message %d: %w", i, err))
+		}
+	}
+	return r.result(nil)
+}
+
+// RunMessage submits one message and steps the system until the
+// transmitter is idle again (message confirmed) or the budget is exhausted.
+func (r *Runner) RunMessage(payload string) error {
+	r.SubmitMsg(payload)
+	return r.RunToIdle()
+}
+
+// RunToIdle steps the system until the transmitter is idle (every accepted
+// message confirmed) or the step budget is exhausted. Use it after
+// SubmitMsg when submission and delivery need to be separated.
+func (r *Runner) RunToIdle() error {
+	for steps := 0; r.T.Busy(); steps++ {
+		if steps >= r.cfg.StepBudget {
+			return fmt.Errorf("%w after %d steps (protocol %s)", ErrStalled, steps, r.cfg.Protocol.Name())
+		}
+		progressed := r.StepTransmit()
+		r.DrainAcks()
+		if !progressed && r.T.Busy() {
+			return fmt.Errorf("%w: transmitter busy with no enabled output", ErrStalled)
+		}
+	}
+	return nil
+}
+
+// SubmitMsg records a send_msg action and hands the payload to the
+// transmitter.
+func (r *Runner) SubmitMsg(payload string) {
+	if r.rec != nil {
+		r.rec.SendMsg(ioa.Message{ID: r.sent, Payload: payload})
+	}
+	r.sent++
+	r.curMsg++
+	r.metrics.DataPacketsPerMessage = append(r.metrics.DataPacketsPerMessage, 0)
+	r.T.SendMsg(payload)
+	r.sampleState()
+}
+
+// StepTransmit performs one transmitter output step: take one enabled data
+// packet, apply the data policy, and (on DeliverNow) deliver it to the
+// receiver. It reports whether an output action was enabled.
+func (r *Runner) StepTransmit() bool {
+	p, ok := r.T.NextPkt()
+	if !ok {
+		return false
+	}
+	r.recordSend(ioa.TtoR, p)
+	r.ChData.Send(p)
+	switch r.cfg.DataPolicy.OnSend(p) {
+	case channel.DeliverNow:
+		r.deliverData(p)
+	case channel.Drop:
+		_ = r.ChData.Drop(p)
+	case channel.Delay:
+		// stays in transit
+	}
+	if t := r.ChData.InTransit(); t > r.metrics.MaxInTransitData {
+		r.metrics.MaxInTransitData = t
+	}
+	r.sampleState()
+	return true
+}
+
+// DrainAcks moves every enabled receiver output through the ack channel.
+func (r *Runner) DrainAcks() {
+	for {
+		a, ok := r.R.NextPkt()
+		if !ok {
+			return
+		}
+		r.recordSend(ioa.RtoT, a)
+		r.ChAck.Send(a)
+		switch r.cfg.AckPolicy.OnSend(a) {
+		case channel.DeliverNow:
+			r.deliverAck(a)
+		case channel.Drop:
+			_ = r.ChAck.Drop(a)
+		case channel.Delay:
+		}
+	}
+}
+
+// DeliverStale delivers one delayed in-transit copy of p on the given
+// channel — the adversary's replay move ("the extension can be simulated by
+// the physical layer"). It fails if no copy is in transit.
+func (r *Runner) DeliverStale(d ioa.Dir, p ioa.Packet) error {
+	switch d {
+	case ioa.TtoR:
+		if err := r.ChData.Deliver(p); err != nil {
+			return err
+		}
+		r.recordRecv(ioa.TtoR, p)
+		r.R.DeliverPkt(p)
+		r.collectDelivered()
+	case ioa.RtoT:
+		if err := r.ChAck.Deliver(p); err != nil {
+			return err
+		}
+		r.recordRecv(ioa.RtoT, p)
+		r.T.DeliverPkt(p)
+	default:
+		return fmt.Errorf("sim: unknown direction %v", d)
+	}
+	r.sampleState()
+	return nil
+}
+
+// Delivered returns the payloads delivered so far (live view).
+func (r *Runner) Delivered() []string { return r.delivered }
+
+// SentMessages reports the send_msg count.
+func (r *Runner) SentMessages() int { return r.sent }
+
+// Recorder exposes the trace recorder (nil unless RecordTrace).
+func (r *Runner) Recorder() *ioa.Recorder { return r.rec }
+
+// Result snapshots the run outcome.
+func (r *Runner) Result() Result { return r.result(nil) }
+
+func (r *Runner) result(err error) Result {
+	res := Result{
+		Delivered: append([]string(nil), r.delivered...),
+		Metrics:   r.metrics,
+		Err:       err,
+	}
+	res.Metrics.HeadersUsed = len(r.headers)
+	res.Metrics.DataPacketsPerMessage = append([]int(nil), r.metrics.DataPacketsPerMessage...)
+	if r.rec != nil {
+		res.Trace = r.rec.Trace()
+	}
+	return res
+}
+
+func (r *Runner) deliverData(p ioa.Packet) {
+	if err := r.ChData.Deliver(p); err != nil {
+		// Impossible by construction: the packet was just sent.
+		panic("sim: deliverData: " + err.Error())
+	}
+	r.recordRecv(ioa.TtoR, p)
+	r.R.DeliverPkt(p)
+	r.collectDelivered()
+}
+
+func (r *Runner) deliverAck(a ioa.Packet) {
+	if err := r.ChAck.Deliver(a); err != nil {
+		panic("sim: deliverAck: " + err.Error())
+	}
+	r.recordRecv(ioa.RtoT, a)
+	r.T.DeliverPkt(a)
+}
+
+func (r *Runner) collectDelivered() {
+	for _, payload := range r.R.TakeDelivered() {
+		if r.rec != nil {
+			r.rec.ReceiveMsg(ioa.Message{ID: len(r.delivered), Payload: payload})
+		}
+		r.delivered = append(r.delivered, payload)
+	}
+}
+
+func (r *Runner) recordSend(d ioa.Dir, p ioa.Packet) {
+	if r.rec != nil {
+		r.rec.SendPkt(d, p)
+	}
+	r.headers[p.Header] = true
+	if d == ioa.TtoR {
+		r.metrics.TotalDataPackets++
+		if r.curMsg >= 0 && r.curMsg < len(r.metrics.DataPacketsPerMessage) {
+			r.metrics.DataPacketsPerMessage[r.curMsg]++
+		}
+	} else {
+		r.metrics.TotalAckPackets++
+	}
+}
+
+func (r *Runner) recordRecv(d ioa.Dir, p ioa.Packet) {
+	if r.rec != nil {
+		r.rec.ReceivePkt(d, p)
+	}
+}
+
+func (r *Runner) sampleState() {
+	if s := r.T.StateSize() + r.R.StateSize(); s > r.metrics.MaxStateSize {
+		r.metrics.MaxStateSize = s
+	}
+}

@@ -1,0 +1,167 @@
+// Package stats provides the statistical utilities used by the Theorem 5.1
+// experiments: summary statistics over Monte-Carlo runs, a log-linear
+// growth-rate fit for detecting exponential packet blow-up, empirical tail
+// probabilities, and the Hoeffding tail bound the paper cites as
+// Theorem 5.4 ([Hoe63]).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrTooFew is returned when an estimator needs more data points.
+var ErrTooFew = errors.New("stats: too few data points")
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes descriptive statistics. It returns ErrTooFew on an
+// empty sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrTooFew
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s, nil
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval for the mean.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return math.Inf(1)
+	}
+	return 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g ±%.2g sd=%.4g min=%.4g med=%.4g max=%.4g",
+		s.N, s.Mean, s.CI95(), s.StdDev, s.Min, s.Median, s.Max)
+}
+
+// Fit is the result of a least-squares regression.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit performs ordinary least squares of y on x. It returns ErrTooFew
+// with fewer than two points or with degenerate x.
+func LinearFit(x, y []float64) (Fit, error) {
+	if len(x) != len(y) {
+		return Fit{}, fmt.Errorf("stats: mismatched lengths %d and %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return Fit{}, ErrTooFew
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, fmt.Errorf("stats: degenerate x values: %w", ErrTooFew)
+	}
+	f := Fit{Slope: sxy / sxx}
+	f.Intercept = my - f.Slope*mx
+	if syy > 0 {
+		f.R2 = (sxy * sxy) / (sxx * syy)
+	} else {
+		f.R2 = 1 // constant y fitted exactly
+	}
+	return f, nil
+}
+
+// GrowthRate fits y ≈ c·r^x by regressing log(y) on x and returns the
+// per-unit growth ratio r together with the fit quality. All y must be
+// positive.
+func GrowthRate(x, y []float64) (rate float64, fit Fit, err error) {
+	ly := make([]float64, len(y))
+	for i, v := range y {
+		if v <= 0 {
+			return 0, Fit{}, fmt.Errorf("stats: GrowthRate needs positive y, got %g at %d", v, i)
+		}
+		ly[i] = math.Log(v)
+	}
+	fit, err = LinearFit(x, ly)
+	if err != nil {
+		return 0, Fit{}, err
+	}
+	return math.Exp(fit.Slope), fit, nil
+}
+
+// Hoeffding is the tail bound of the paper's Theorem 5.4 ([Hoe63]): for
+// independent 0/1 variables X_i with success probability q and any
+// alpha < q,
+//
+//	Prob[ Σ X_i ≤ alpha·n ] ≤ exp(−2n(alpha−q)²).
+func Hoeffding(n int, alpha, q float64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	d := alpha - q
+	return math.Exp(-2 * float64(n) * d * d)
+}
+
+// TailFraction reports the fraction of samples strictly below the
+// threshold: an empirical estimate of Prob[X < t].
+func TailFraction(xs []float64, t float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := 0
+	for _, x := range xs {
+		if x < t {
+			c++
+		}
+	}
+	return float64(c) / float64(len(xs))
+}

@@ -1,0 +1,232 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeBasic(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 4 || !almost(s.Mean, 2.5, 1e-12) || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !almost(s.Median, 2.5, 1e-12) {
+		t.Fatalf("median = %g", s.Median)
+	}
+	// Sample stddev of {1,2,3,4} is sqrt(5/3).
+	if !almost(s.StdDev, math.Sqrt(5.0/3.0), 1e-12) {
+		t.Fatalf("stddev = %g", s.StdDev)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	s, err := Summarize([]float64{9, 1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Median != 5 {
+		t.Fatalf("median = %g, want 5", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrTooFew {
+		t.Fatalf("expected ErrTooFew, got %v", err)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StdDev != 0 || s.Mean != 7 || s.Median != 7 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !math.IsInf(s.CI95(), 1) {
+		t.Fatal("CI95 of a single point should be infinite")
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Summarize(xs); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s, _ := Summarize([]float64{1, 2})
+	if got := s.String(); got == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 2x + 1
+	f, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(f.Slope, 2, 1e-12) || !almost(f.Intercept, 1, 1e-12) || !almost(f.R2, 1, 1e-12) {
+		t.Fatalf("fit = %+v", f)
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	f, err := LinearFit([]float64{0, 1, 2}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(f.Slope, 0, 1e-12) || !almost(f.R2, 1, 1e-12) {
+		t.Fatalf("fit = %+v", f)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point should fail")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("mismatched lengths should fail")
+	}
+	if _, err := LinearFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Fatal("degenerate x should fail")
+	}
+}
+
+func TestGrowthRateExactGeometric(t *testing.T) {
+	// y = 3 · 1.5^x
+	x := []float64{0, 1, 2, 3, 4}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 3 * math.Pow(1.5, x[i])
+	}
+	rate, fit, err := GrowthRate(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(rate, 1.5, 1e-9) || fit.R2 < 0.999 {
+		t.Fatalf("rate = %g, fit = %+v", rate, fit)
+	}
+}
+
+func TestGrowthRateLinearSeriesNearOne(t *testing.T) {
+	// A linear series has sub-exponential growth: fitted rate → 1 as the
+	// range grows; on 1..20 it should be well below 1.5.
+	var x, y []float64
+	for i := 1; i <= 20; i++ {
+		x = append(x, float64(i))
+		y = append(y, float64(5*i))
+	}
+	rate, _, err := GrowthRate(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate > 1.3 {
+		t.Fatalf("linear series fitted rate %g, want close to 1", rate)
+	}
+}
+
+func TestGrowthRateRejectsNonPositive(t *testing.T) {
+	if _, _, err := GrowthRate([]float64{0, 1}, []float64{1, 0}); err == nil {
+		t.Fatal("non-positive y should fail")
+	}
+}
+
+func TestHoeffdingMatchesFormula(t *testing.T) {
+	// e^{-2·100·(0.1-0.3)²} = e^{-8}
+	got := Hoeffding(100, 0.1, 0.3)
+	want := math.Exp(-8)
+	if !almost(got, want, 1e-15) {
+		t.Fatalf("Hoeffding = %g, want %g", got, want)
+	}
+	if Hoeffding(0, 0.1, 0.3) != 1 {
+		t.Fatal("n=0 should give the trivial bound 1")
+	}
+}
+
+func TestHoeffdingDecaysInN(t *testing.T) {
+	prev := 1.0
+	for _, n := range []int{10, 20, 40, 80} {
+		b := Hoeffding(n, 0.1, 0.25)
+		if b >= prev {
+			t.Fatalf("bound not decreasing at n=%d: %g ≥ %g", n, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestTailFraction(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := TailFraction(xs, 3); got != 0.5 {
+		t.Fatalf("TailFraction = %g, want 0.5", got)
+	}
+	if got := TailFraction(xs, 0); got != 0 {
+		t.Fatalf("TailFraction below min = %g", got)
+	}
+	if got := TailFraction(xs, 100); got != 1 {
+		t.Fatalf("TailFraction above max = %g", got)
+	}
+	if got := TailFraction(nil, 1); got != 0 {
+		t.Fatalf("TailFraction of empty = %g", got)
+	}
+}
+
+// Property: mean is within [min, max] and shifting the sample shifts the
+// mean accordingly.
+func TestQuickSummarizeShift(t *testing.T) {
+	f := func(raw []int8, shift int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+			ys[i] = float64(v) + float64(shift)
+		}
+		a, err1 := Summarize(xs)
+		b, err2 := Summarize(ys)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if a.Mean < a.Min-1e-9 || a.Mean > a.Max+1e-9 {
+			return false
+		}
+		return almost(b.Mean, a.Mean+float64(shift), 1e-9) &&
+			almost(b.StdDev, a.StdDev, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LinearFit recovers slope/intercept exactly on noiseless lines.
+func TestQuickLinearFitRecovers(t *testing.T) {
+	f := func(m, b int8) bool {
+		x := []float64{0, 1, 2, 3, 4, 5}
+		y := make([]float64, len(x))
+		for i := range x {
+			y[i] = float64(m)*x[i] + float64(b)
+		}
+		fit, err := LinearFit(x, y)
+		if err != nil {
+			return false
+		}
+		return almost(fit.Slope, float64(m), 1e-9) && almost(fit.Intercept, float64(b), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,336 @@
+// Package transport extends the reproduction one layer up, following the
+// paper's closing remark: "all our results can be extended to transport
+// layer protocols over non-FIFO virtual links."
+//
+// A virtual link — a host-to-host path through a datagram network — has
+// exactly the non-FIFO channel semantics of internal/channel: segments may
+// be delayed arbitrarily and arrive out of order. The transport protocol
+// here is a sliding window protocol with window W and a configurable
+// sequence-number space:
+//
+//   - S = 0: unbounded sequence numbers. Every segment has a private
+//     header, stale copies are harmless, and the protocol is safe over
+//     arbitrary non-FIFO behaviour — the transport analogue of the naive
+//     data link protocol, paying Θ(n) headers.
+//   - S > 0: sequence numbers mod S, i.e. a bounded header alphabet of 2S
+//     (data + ack). Theorem 3.1's dichotomy now bites at the transport
+//     layer: a stale segment from ≥ S sequence numbers ago aliases into
+//     the receive window and is accepted as new. The exhaustive explorer
+//     and the replay adversary both find the violation.
+//
+// The endpoints implement the same Transmitter/Receiver interfaces as the
+// data link protocols, so every harness in this repo — the runner, the
+// adversaries, the explorer, the boundness measurements — applies
+// unchanged.
+package transport
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/channel"
+	"repro/internal/ioa"
+	"repro/internal/protocol"
+)
+
+// SlidingWindow describes a sliding window transport protocol.
+//
+// For a finite sequence space choose S ≥ 2W (the classical selective-repeat
+// sizing); with S < 2W two in-flight segments can share a header and the
+// receiver's wrap resolution is ambiguous even without an adversary. The
+// constructor does not enforce this: undersized spaces are exactly the
+// misconfigurations the explorer demonstrates broken.
+type SlidingWindow struct {
+	// S is the sequence-number space size; 0 means unbounded.
+	S int
+	// W is the window: the maximum number of unacknowledged segments in
+	// flight. Must be ≥ 1; values < 1 are treated as 1.
+	W int
+}
+
+var _ protocol.Protocol = SlidingWindow{}
+
+// New returns a sliding window transport descriptor.
+func New(s, w int) SlidingWindow {
+	if w < 1 {
+		w = 1
+	}
+	return SlidingWindow{S: s, W: w}
+}
+
+// Name implements protocol.Protocol.
+func (p SlidingWindow) Name() string {
+	if p.S == 0 {
+		return fmt.Sprintf("swindow-unbounded-w%d", p.W)
+	}
+	return fmt.Sprintf("swindow-s%d-w%d", p.S, p.W)
+}
+
+// HeaderBound implements protocol.Protocol: S data headers plus S ack
+// headers when bounded.
+func (p SlidingWindow) HeaderBound() (int, bool) {
+	if p.S == 0 {
+		return 0, false
+	}
+	return 2 * p.S, true
+}
+
+// New implements protocol.Protocol. The genies are ignored: the sliding
+// window protocol uses no channel oracle (with S > 0 that is exactly why it
+// is unsafe here).
+func (p SlidingWindow) New(_, _ channel.Genie) (protocol.Transmitter, protocol.Receiver) {
+	w := p.W
+	if w < 1 {
+		w = 1
+	}
+	return &swSender{s: p.S, w: w}, &swReceiver{s: p.S, w: w, buf: make(map[int]string)}
+}
+
+func dataHeader(s, seq int) string {
+	if s > 0 {
+		seq %= s
+	}
+	return "s" + strconv.Itoa(seq)
+}
+
+func ackHeader(s, seq int) string {
+	if s > 0 {
+		seq %= s
+	}
+	return "t" + strconv.Itoa(seq)
+}
+
+// segment is one in-flight transport segment at the sender.
+type segment struct {
+	seq     int
+	payload string
+	acked   bool
+}
+
+// swSender is the sending host: admit up to W segments, retransmit unacked
+// segments round-robin, slide the window on cumulative acknowledgement.
+type swSender struct {
+	s, w  int
+	base  int // sequence number of the oldest in-flight segment
+	next  int // next sequence number to assign
+	segs  []segment
+	queue []string
+	rr    int // round-robin cursor over unacked segments
+}
+
+var _ protocol.Transmitter = (*swSender)(nil)
+
+func (t *swSender) SendMsg(payload string) {
+	t.queue = append(t.queue, payload)
+	t.admit()
+}
+
+func (t *swSender) admit() {
+	for len(t.segs) < t.w && len(t.queue) > 0 {
+		t.segs = append(t.segs, segment{seq: t.next, payload: t.queue[0]})
+		t.queue = t.queue[1:]
+		t.next++
+	}
+}
+
+func (t *swSender) DeliverPkt(p ioa.Packet) {
+	if !strings.HasPrefix(p.Header, "t") {
+		return
+	}
+	h, err := strconv.Atoi(p.Header[1:])
+	if err != nil {
+		return
+	}
+	// Acknowledge the first unacked in-flight segment whose header
+	// matches. With S > 0 this resolution aliases across wraps — stale
+	// acks can confirm the wrong segment, one of the two unsafety vectors.
+	for i := range t.segs {
+		if t.segs[i].acked {
+			continue
+		}
+		seq := t.segs[i].seq
+		if (t.s == 0 && seq == h) || (t.s > 0 && seq%t.s == h) {
+			t.segs[i].acked = true
+			break
+		}
+	}
+	// Slide the window past acknowledged prefixes.
+	for len(t.segs) > 0 && t.segs[0].acked {
+		t.segs = t.segs[1:]
+		t.base++
+	}
+	t.admit()
+}
+
+func (t *swSender) NextPkt() (ioa.Packet, bool) {
+	n := len(t.segs)
+	if n == 0 {
+		return ioa.Packet{}, false
+	}
+	// Round-robin over unacked segments so every in-flight segment keeps
+	// being retransmitted (liveness under loss).
+	for i := 0; i < n; i++ {
+		idx := (t.rr + i) % n
+		if t.segs[idx].acked {
+			continue
+		}
+		t.rr = (idx + 1) % n
+		seg := t.segs[idx]
+		return ioa.Packet{Header: dataHeader(t.s, seg.seq), Payload: seg.payload}, true
+	}
+	return ioa.Packet{}, false
+}
+
+func (t *swSender) Busy() bool { return len(t.segs) > 0 || len(t.queue) > 0 }
+
+func (t *swSender) Clone() protocol.Transmitter {
+	c := *t
+	c.segs = append([]segment(nil), t.segs...)
+	c.queue = append([]string(nil), t.queue...)
+	return &c
+}
+
+func (t *swSender) StateKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "swS{s=%d w=%d base=%d next=%d rr=%d segs=", t.s, t.w, t.base, t.next, t.rr)
+	for _, sg := range t.segs {
+		fmt.Fprintf(&b, "%d:%s:%t;", sg.seq, sg.payload, sg.acked)
+	}
+	fmt.Fprintf(&b, " q=%s}", strings.Join(t.queue, "|"))
+	return b.String()
+}
+
+func (t *swSender) StateSize() int {
+	n := len(strconv.Itoa(t.base)) + len(strconv.Itoa(t.next))
+	for _, sg := range t.segs {
+		n += len(sg.payload) + 1
+	}
+	for _, q := range t.queue {
+		n += len(q)
+	}
+	return n
+}
+
+// swReceiver is the receiving host: buffer out-of-order segments within the
+// receive window, deliver in order, acknowledge every accepted or duplicate
+// segment.
+type swReceiver struct {
+	s, w      int
+	next      int // lowest sequence number not yet delivered
+	buf       map[int]string
+	delivered []string
+	acks      []ioa.Packet
+}
+
+var _ protocol.Receiver = (*swReceiver)(nil)
+
+func (r *swReceiver) DeliverPkt(p ioa.Packet) {
+	if !strings.HasPrefix(p.Header, "s") {
+		return
+	}
+	h, err := strconv.Atoi(p.Header[1:])
+	if err != nil {
+		return
+	}
+	seq, inWindow, stale := r.resolve(h)
+	switch {
+	case inWindow:
+		if _, dup := r.buf[seq]; !dup {
+			r.buf[seq] = p.Payload
+		}
+		r.acks = append(r.acks, ioa.Packet{Header: ackHeader(r.s, seq)})
+		for {
+			payload, ok := r.buf[r.next]
+			if !ok {
+				break
+			}
+			delete(r.buf, r.next)
+			r.delivered = append(r.delivered, payload)
+			r.next++
+		}
+	case stale:
+		// A duplicate of something already delivered: re-acknowledge so a
+		// sender whose ack was lost can slide, never deliver.
+		r.acks = append(r.acks, ioa.Packet{Header: "t" + strconv.Itoa(h)})
+	}
+}
+
+// resolve maps a received data header to a sequence number. With unbounded
+// numbering the header is the sequence number. With mod-S numbering the
+// receiver must guess which wrap the segment belongs to; it picks the
+// lowest in-window candidate — the standard resolution, and exactly the
+// aliasing a non-FIFO virtual link exploits: a stale segment from S (or
+// more) sequence numbers ago resolves into the current window.
+func (r *swReceiver) resolve(h int) (seq int, inWindow, stale bool) {
+	if r.s == 0 {
+		switch {
+		case h >= r.next && h < r.next+r.w:
+			return h, true, false
+		case h < r.next:
+			return h, false, true
+		default:
+			return h, false, false
+		}
+	}
+	for seq := r.next; seq < r.next+r.w; seq++ {
+		if seq%r.s == h {
+			return seq, true, false
+		}
+	}
+	// No in-window candidate: header of an already-delivered wrap.
+	return 0, false, true
+}
+
+func (r *swReceiver) NextPkt() (ioa.Packet, bool) {
+	if len(r.acks) == 0 {
+		return ioa.Packet{}, false
+	}
+	p := r.acks[0]
+	r.acks = r.acks[1:]
+	return p, true
+}
+
+func (r *swReceiver) TakeDelivered() []string {
+	out := r.delivered
+	r.delivered = nil
+	return out
+}
+
+func (r *swReceiver) Clone() protocol.Receiver {
+	c := *r
+	c.buf = make(map[int]string, len(r.buf))
+	for k, v := range r.buf {
+		c.buf[k] = v
+	}
+	c.delivered = append([]string(nil), r.delivered...)
+	c.acks = append([]ioa.Packet(nil), r.acks...)
+	return &c
+}
+
+func (r *swReceiver) StateKey() string {
+	keys := make([]int, 0, len(r.buf))
+	for k := range r.buf {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "swR{s=%d w=%d next=%d buf=", r.s, r.w, r.next)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%d:%s;", k, r.buf[k])
+	}
+	fmt.Fprintf(&b, " pendAcks=%d pendDeliv=%d}", len(r.acks), len(r.delivered))
+	return b.String()
+}
+
+func (r *swReceiver) StateSize() int {
+	n := len(strconv.Itoa(r.next)) + len(r.acks)
+	for _, v := range r.buf {
+		n += len(v) + 1
+	}
+	for _, d := range r.delivered {
+		n += len(d)
+	}
+	return n
+}

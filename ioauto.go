@@ -1,0 +1,66 @@
+package nonfifo
+
+import "repro/internal/ioauto"
+
+// The [LT87] I/O automaton formalism (see internal/ioauto): the paper's
+// model in its original mathematical setting, with composition and
+// exhaustive reachability.
+type (
+	// Automaton is an I/O automaton: a signature plus an initial state.
+	Automaton = ioauto.Automaton
+	// AutomatonState is one (immutable) automaton state.
+	AutomatonState = ioauto.State
+	// ActionClass classifies an action as input, output or internal.
+	ActionClass = ioauto.Class
+	// ReachResult is a reachability outcome: a shortest witness or an
+	// exhausted-space certificate.
+	ReachResult = ioauto.Result
+	// ChannelKind selects a channel automaton's delivery discipline.
+	ChannelKind = ioauto.ChannelKind
+)
+
+// Action classes.
+const (
+	ActionInput    = ioauto.Input
+	ActionOutput   = ioauto.Output
+	ActionInternal = ioauto.Internal
+)
+
+// Channel disciplines for the automaton models.
+const (
+	NonFIFOChannel = ioauto.NonFIFOKind
+	FIFOChannel    = ioauto.FIFOKind
+)
+
+// ComposeAutomata builds the [LT87] composition of the given automata,
+// enforcing the compatibility conditions.
+func ComposeAutomata(name string, parts ...Automaton) (Automaton, error) {
+	return ioauto.Compose(name, parts...)
+}
+
+// ReachAutomaton explores the reachable states of a closed composition
+// breadth-first until pred matches or the space is exhausted.
+func ReachAutomaton(a Automaton, pred func(AutomatonState) bool, maxStates int) (ReachResult, error) {
+	return ioauto.Reach(a, pred, maxStates)
+}
+
+// AutomatonViolated is the predicate matching the DL-monitor's violation
+// state.
+func AutomatonViolated(s AutomatonState) bool { return ioauto.Violated(s) }
+
+// NewAltBitSystem composes user ∥ A^t ∥ channels ∥ A^r ∥ monitor around the
+// alternating bit protocol, in the automaton formalism.
+func NewAltBitSystem(kind ChannelKind, messages, capacity int) (Automaton, error) {
+	return ioauto.NewAltBitSystem(kind, messages, capacity)
+}
+
+// NewSeqNumSystem composes the same system around the naive protocol for a
+// fixed message count (its alphabet is then finite, so safety is decidable
+// by exhaustion).
+func NewSeqNumSystem(kind ChannelKind, messages, capacity int) (Automaton, error) {
+	return ioauto.NewSeqNumSystem(kind, messages, capacity)
+}
+
+// AutomatonWitnessTrace converts a reachability witness into an execution
+// trace checkable by the trace checkers.
+func AutomatonWitnessTrace(path []string) (Trace, error) { return ioauto.WitnessTrace(path) }

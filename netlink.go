@@ -1,0 +1,65 @@
+package nonfifo
+
+import (
+	"net"
+	"time"
+
+	"repro/internal/netlink"
+	"repro/internal/wire"
+)
+
+// Real-socket transport (see internal/netlink): run the protocols over
+// actual datagram sockets, with optional deterministic chaos injection.
+type (
+	// NetSender drives a transmitter over a datagram socket.
+	NetSender = netlink.Sender
+	// NetReceiver drives a receiver over a datagram socket.
+	NetReceiver = netlink.Receiver
+	// NetPair is a loopback sender/receiver pair.
+	NetPair = netlink.Pair
+	// SenderOption configures a NetSender.
+	SenderOption = netlink.SenderOption
+	// ChaosConn imposes seeded loss and reordering on a net.PacketConn —
+	// the paper's non-FIFO physical layer on a real socket.
+	ChaosConn = netlink.ChaosConn
+	// ChaosConfig parameterises a ChaosConn.
+	ChaosConfig = netlink.ChaosConfig
+)
+
+// Socket-level errors.
+var (
+	// ErrNetClosed is returned by operations on a closed station.
+	ErrNetClosed = netlink.ErrClosed
+	// ErrFlushTimeout is returned when a flush deadline expires.
+	ErrFlushTimeout = netlink.ErrFlushTimeout
+)
+
+// NewNetSender starts a sender for protocol p on conn, talking to remote.
+func NewNetSender(p Protocol, conn net.PacketConn, remote net.Addr, opts ...SenderOption) *NetSender {
+	return netlink.NewSender(p, conn, remote, opts...)
+}
+
+// NewNetReceiver starts a receiver for protocol p on conn.
+func NewNetReceiver(p Protocol, conn net.PacketConn) *NetReceiver {
+	return netlink.NewReceiver(p, conn)
+}
+
+// NewLoopbackPair wires a sender and receiver over fresh loopback UDP
+// sockets; wrap (optional) intercepts each socket, e.g. with NewChaosConn.
+func NewLoopbackPair(p Protocol, wrap func(net.PacketConn) net.PacketConn, opts ...SenderOption) (*NetPair, error) {
+	return netlink.NewLoopbackPair(p, wrap, opts...)
+}
+
+// NewChaosConn wraps a socket with seeded loss and reordering.
+func NewChaosConn(inner net.PacketConn, cfg ChaosConfig) *ChaosConn {
+	return netlink.NewChaosConn(inner, cfg)
+}
+
+// WithResendInterval overrides a sender's retransmission pacing.
+func WithResendInterval(d time.Duration) SenderOption { return netlink.WithResendInterval(d) }
+
+// EncodePacket serialises a packet for the wire (see internal/wire).
+func EncodePacket(p Packet) []byte { return wire.Encode(p) }
+
+// DecodePacket parses a datagram produced by EncodePacket.
+func DecodePacket(b []byte) (Packet, error) { return wire.Decode(b) }

@@ -1,0 +1,275 @@
+// Package nonfifo is a library reproduction of Mansour & Schieber, "The
+// Intractability of Bounded Protocols for Non-FIFO Channels" (PODC 1989).
+//
+// It provides:
+//
+//   - the paper's communication model as an executable simulation — non-FIFO
+//     and probabilistic physical channels, data link endpoint automata, and
+//     trace checkers for the correctness properties PL1, DL1, DL2, DL3;
+//   - a family of data link protocols spanning the paper's design space:
+//     the naive unbounded-header protocol, the alternating bit protocol,
+//     and genie-aided counting protocols in the style of [Afe88] and
+//     [AFWZ88] (plus deliberately under-provisioned "cheat" variants);
+//   - the paper's lower-bound constructions as attack procedures that emit
+//     machine-checkable violation certificates (replay, pumping,
+//     header-budget);
+//   - boundness measurement per the paper's Definitions 5 and 6;
+//   - a bounded explicit-state model checker (Explore) that exhausts the
+//     channel nondeterminism within bounds — over the paper's non-FIFO
+//     discipline or the contrasting lossy-FIFO one — and emits shortest
+//     counterexamples;
+//   - sliding window and go-back-N transport protocols over non-FIFO
+//     virtual links, realising the paper's closing remark that the results
+//     extend to the transport layer; and
+//   - the experiment suite E0–E9 that reproduces each theorem's predicted
+//     shape (see DESIGN.md and EXPERIMENTS.md).
+//
+// # Quickstart
+//
+//	r := nonfifo.NewRunner(nonfifo.Config{
+//		Protocol:    nonfifo.SeqNum(),
+//		DataPolicy:  nonfifo.Probabilistic(0.25, rand.New(rand.NewSource(1))),
+//		RecordTrace: true,
+//	})
+//	res := r.Run(10)
+//	if err := nonfifo.CheckValid(res.Trace); err != nil { ... }
+//
+// See examples/ for complete programs.
+package nonfifo
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/adversary"
+	"repro/internal/bound"
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// Model types (see internal/ioa).
+type (
+	// Packet is an element of the physical layer alphabet P.
+	Packet = ioa.Packet
+	// Message is an element of the data link alphabet M.
+	Message = ioa.Message
+	// Event is one execution action.
+	Event = ioa.Event
+	// Trace is a finite execution.
+	Trace = ioa.Trace
+	// Counters are the action counts of the paper's Definition 2.
+	Counters = ioa.Counters
+	// Violation is a failed correctness property with its location.
+	Violation = ioa.Violation
+	// Dir identifies one of the two physical channels.
+	Dir = ioa.Dir
+)
+
+// Channel directions.
+const (
+	TtoR = ioa.TtoR
+	RtoT = ioa.RtoT
+)
+
+// Channel machinery (see internal/channel).
+type (
+	// Policy decides the fate of each sent packet.
+	Policy = channel.Policy
+	// Decision is a policy verdict.
+	Decision = channel.Decision
+	// NonFIFO is the non-FIFO physical channel.
+	NonFIFO = channel.NonFIFO
+	// Genie is the stale-copy oracle available to counting protocols.
+	Genie = channel.Genie
+)
+
+// Policy verdicts.
+const (
+	DeliverNow = channel.DeliverNow
+	Delay      = channel.Delay
+	Drop       = channel.Drop
+)
+
+// Policies (channel behaviours).
+var (
+	// Reliable delivers every packet immediately (the optimal behaviour
+	// of the boundness definitions).
+	Reliable = channel.Reliable
+	// DelayAll delays every packet.
+	DelayAll = channel.DelayAll
+	// DelayFirst delays the first n packets, then delivers.
+	DelayFirst = channel.DelayFirst
+	// DelayPerHeader delays the first n copies of each distinct header.
+	DelayPerHeader = channel.DelayPerHeader
+	// DropEvery drops every k-th packet.
+	DropEvery = channel.DropEvery
+	// Script replays a fixed decision sequence.
+	Script = channel.Script
+)
+
+// Probabilistic is the probabilistic physical layer of the paper's
+// Section 5 (property PL2p): each packet is delivered immediately with
+// probability 1−q and delayed otherwise.
+func Probabilistic(q float64, rng *rand.Rand) Policy { return channel.Probabilistic(q, rng) }
+
+// ProbabilisticDrop loses (rather than delays) each packet with
+// probability q.
+func ProbabilisticDrop(q float64, rng *rand.Rand) Policy { return channel.ProbabilisticDrop(q, rng) }
+
+// Protocol machinery (see internal/protocol).
+type (
+	// Protocol describes a data link protocol.
+	Protocol = protocol.Protocol
+	// Transmitter is the automaton A^t.
+	Transmitter = protocol.Transmitter
+	// Receiver is the automaton A^r.
+	Receiver = protocol.Receiver
+)
+
+// SeqNum returns the naive protocol: the i-th message uses the i-th header;
+// n headers, O(log n) space, O(1) packets per message.
+func SeqNum() Protocol { return protocol.NewSeqNum() }
+
+// AltBit returns the alternating bit protocol [BSW69]: 4 headers,
+// finite-state, unsafe over non-FIFO channels.
+func AltBit() Protocol { return protocol.NewAltBit() }
+
+// CntLinear returns the Afek-style genie counting protocol: 4 headers,
+// Θ(packets-in-transit) packets per message (Theorem 4.1's tight shape).
+func CntLinear() Protocol { return protocol.NewCntLinear() }
+
+// CntExp returns the AFWZ-style pessimistic counting protocol: 4 headers,
+// packet cost exponential in the number of messages even on a perfect
+// channel.
+func CntExp() Protocol { return protocol.NewCntExp() }
+
+// Cheat returns CntLinear with its acceptance threshold lowered by d; for
+// any d ≥ 1 the replay adversary produces a violation certificate
+// (Theorem 4.1's mechanism).
+func Cheat(d int) Protocol { return protocol.NewCheat(d) }
+
+// CntK returns the K-cycling-header counting protocol (2K headers): with
+// L stale packets spread over its headers, a message costs ≈ L/K + 1
+// packets — Theorem 4.1's 1/k factor as a dial (see experiment E10).
+func CntK(k int) Protocol { return protocol.NewCntK(k) }
+
+// CntNoBind returns the payload-binding ablation of CntLinear: the
+// acceptance threshold pools all same-bit copies regardless of payload, so
+// an adversary can push a stale payload over the line (see experiment E9).
+func CntNoBind() Protocol { return protocol.NewCntNoBind() }
+
+// Livelock returns a deliberately broken protocol used to demonstrate the
+// pumping detector (Theorem 2.1's mechanism).
+func Livelock() Protocol { return protocol.NewLivelock() }
+
+// Protocols returns the built-in protocol registry keyed by name.
+func Protocols() map[string]Protocol { return protocol.Registry() }
+
+// Simulation (see internal/sim).
+type (
+	// Config describes one simulation.
+	Config = sim.Config
+	// Runner drives a protocol over two non-FIFO channels.
+	Runner = sim.Runner
+	// Result is a run outcome.
+	Result = sim.Result
+	// Metrics are the resource measurements of a run.
+	Metrics = sim.Metrics
+)
+
+// NewRunner constructs a simulation runner.
+func NewRunner(cfg Config) *Runner { return sim.NewRunner(cfg) }
+
+// Trace checkers (the paper's correctness properties).
+var (
+	// CheckPL1 verifies physical-layer safety on one channel.
+	CheckPL1 = ioa.CheckPL1
+	// CheckDL1 verifies the send/receive message correspondence.
+	CheckDL1 = ioa.CheckDL1
+	// CheckDL2 verifies FIFO delivery order.
+	CheckDL2 = ioa.CheckDL2
+	// CheckDL3Quiescent verifies that every sent message was delivered.
+	CheckDL3Quiescent = ioa.CheckDL3Quiescent
+	// CheckValid verifies Definition 3 (valid execution).
+	CheckValid = ioa.CheckValid
+	// CheckSemiValid verifies Definition 4 (semi-valid execution).
+	CheckSemiValid = ioa.CheckSemiValid
+	// CheckSafety verifies the prefix-closed safety properties only.
+	CheckSafety = ioa.CheckSafety
+	// AsViolation extracts a *Violation from a checker error.
+	AsViolation = ioa.AsViolation
+)
+
+// Adversaries (the paper's lower-bound constructions).
+type (
+	// Certificate is a machine-checkable violation witness.
+	Certificate = adversary.Certificate
+	// ReplayConfig bounds the replay search.
+	ReplayConfig = adversary.ReplayConfig
+	// ReplayReport is a replay-search outcome.
+	ReplayReport = adversary.ReplayReport
+	// PumpReport is a pumping-run outcome.
+	PumpReport = adversary.PumpReport
+	// HeaderBudgetReport is a Theorem 3.1 construction outcome.
+	HeaderBudgetReport = adversary.HeaderBudgetReport
+)
+
+// ReplaySearch looks for a stale-copy replay schedule that drives the
+// receiver into an invalid execution (rm = sm + 1).
+func ReplaySearch(r *Runner, cfg ReplayConfig) (ReplayReport, error) {
+	return adversary.ReplaySearch(r, cfg)
+}
+
+// Pump runs the optimal-from-now channel and reports either the closing
+// cost or a repeated joint state (Theorem 2.1's pumping argument).
+func Pump(r *Runner, budget int) (PumpReport, error) { return adversary.Pump(r, budget) }
+
+// HeaderBudget accumulates in-transit copies of the protocol's whole
+// alphabet and then replays (Theorem 3.1's construction).
+func HeaderBudget(p Protocol, copies, messages int, cfg ReplayConfig) (HeaderBudgetReport, error) {
+	return adversary.HeaderBudget(p, copies, messages, cfg)
+}
+
+// Boundness measurement (the paper's Definitions 5 and 6).
+type (
+	// BoundnessSample is one measured point of a boundness curve.
+	BoundnessSample = bound.Sample
+)
+
+// ClosingCost measures sp^{t→r}(β) of the definitional closing extension
+// from the runner's current semi-valid state.
+func ClosingCost(r *Runner, budget int) (int, error) { return bound.ClosingCost(r, budget) }
+
+// MeasureMf measures the M_f-boundness curve over message counts.
+func MeasureMf(p Protocol, n, budget int) ([]BoundnessSample, error) {
+	return bound.MeasureMf(p, n, budget)
+}
+
+// MeasurePf measures the P_f-boundness curve over in-transit levels.
+func MeasurePf(p Protocol, levels []int, budget int) ([]BoundnessSample, error) {
+	return bound.MeasurePf(p, levels, budget)
+}
+
+// BuildInTransit prepares a runner with at least l packets delayed on the
+// data channel and the transmitter idle.
+func BuildInTransit(p Protocol, l, budget int) (*Runner, error) {
+	return bound.BuildInTransit(p, l, budget)
+}
+
+// Experiments (DESIGN.md §4).
+type (
+	// ExperimentScale selects Quick or Full experiment sweeps.
+	ExperimentScale = core.Scale
+)
+
+// Experiment scales.
+const (
+	Quick = core.Quick
+	Full  = core.Full
+)
+
+// RunExperiments executes the full E0–E12 suite and renders its tables to w.
+func RunExperiments(w io.Writer, scale ExperimentScale) error { return core.RunAll(w, scale) }

@@ -1,0 +1,319 @@
+package nonfifo
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The facade tests exercise the library exactly as a downstream user would:
+// everything through the public package, nothing through internal paths.
+
+func TestQuickstartFlow(t *testing.T) {
+	r := NewRunner(Config{
+		Protocol:    SeqNum(),
+		DataPolicy:  Probabilistic(0.25, rand.New(rand.NewSource(1))),
+		RecordTrace: true,
+	})
+	res := r.Run(10)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if err := CheckValid(res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.HeadersUsed < 10 {
+		t.Fatalf("seqnum headers = %d", res.Metrics.HeadersUsed)
+	}
+}
+
+func TestProtocolsRegistry(t *testing.T) {
+	ps := Protocols()
+	for _, name := range []string{"altbit", "seqnum", "cntlinear", "cntexp"} {
+		if _, ok := ps[name]; !ok {
+			t.Fatalf("registry missing %s", name)
+		}
+	}
+}
+
+func TestAttackFlow(t *testing.T) {
+	r := NewRunner(Config{
+		Protocol:    AltBit(),
+		DataPolicy:  DelayFirst(1),
+		RecordTrace: true,
+	})
+	if err := r.RunMessage("m0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RunMessage("m1"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplaySearch(r, ReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cert == nil {
+		t.Fatal("altbit should be broken via the public API too")
+	}
+	if err := rep.Cert.Recheck(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Cert.String(), "DL1") {
+		t.Fatal("certificate should mention DL1")
+	}
+}
+
+func TestBoundnessFlow(t *testing.T) {
+	samples, err := MeasurePf(CntLinear(), []int{0, 8}, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 || samples[1].Cost < 8 {
+		t.Fatalf("samples = %+v", samples)
+	}
+	r, err := BuildInTransit(SeqNum(), 4, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ChData.InTransit() < 4 {
+		t.Fatal("BuildInTransit under-delivered")
+	}
+	r.SubmitMsg("x")
+	cost, err := ClosingCost(r, 1<<18)
+	if err != nil || cost < 1 {
+		t.Fatalf("ClosingCost = %d, %v", cost, err)
+	}
+}
+
+func TestPumpFlow(t *testing.T) {
+	r := NewRunner(Config{Protocol: Livelock()})
+	r.SubmitMsg("m")
+	rep, err := Pump(r, 1000)
+	if err != nil || !rep.Pumped {
+		t.Fatalf("pump = %+v, %v", rep, err)
+	}
+}
+
+func TestHeaderBudgetFlow(t *testing.T) {
+	rep, err := HeaderBudget(Cheat(1), 3, 3, ReplayConfig{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replay.Cert == nil {
+		t.Fatal("cheat(1) should be broken")
+	}
+}
+
+func TestMeasureMfFlow(t *testing.T) {
+	samples, err := MeasureMf(AltBit(), 5, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 5 {
+		t.Fatalf("samples = %+v", samples)
+	}
+}
+
+func TestRunExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	var buf bytes.Buffer
+	if err := RunExperiments(&buf, Quick); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "== E6:") {
+		t.Fatal("experiment output incomplete")
+	}
+}
+
+func TestConstantsExported(t *testing.T) {
+	if TtoR == RtoT {
+		t.Fatal("direction constants collide")
+	}
+	if DeliverNow == Delay || Delay == Drop {
+		t.Fatal("decision constants collide")
+	}
+}
+
+func TestExploreFlow(t *testing.T) {
+	rep, err := Explore(AltBit(), ExploreConfig{Messages: 2, MaxDataSends: 4, MaxAckSends: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation == nil {
+		t.Fatal("explorer should break altbit")
+	}
+	if err := CheckSafety(rep.Counterexample); err == nil {
+		t.Fatal("counterexample passes the checkers")
+	}
+	safe, err := Explore(SeqNum(), ExploreConfig{Messages: 2, MaxDataSends: 4, MaxAckSends: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe.Violation != nil || !safe.Exhausted {
+		t.Fatalf("seqnum should verify safe: %+v", safe)
+	}
+}
+
+func TestSlidingWindowFlow(t *testing.T) {
+	p := SlidingWindow(2, 1)
+	if k, bounded := p.HeaderBound(); !bounded || k != 4 {
+		t.Fatalf("HeaderBound = %d,%t", k, bounded)
+	}
+	rep, err := Explore(p, ExploreConfig{Messages: 3, MaxDataSends: 6, MaxAckSends: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation == nil {
+		t.Fatal("finite sequence space should be breakable")
+	}
+	u := SlidingWindow(0, 2)
+	safe, err := Explore(u, ExploreConfig{Messages: 2, MaxDataSends: 4, MaxAckSends: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe.Violation != nil {
+		t.Fatal("unbounded sequence space should be safe")
+	}
+}
+
+func TestInductionFlow(t *testing.T) {
+	rep, err := Induction(AltBit(), 2, 10, ReplayConfig{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete || rep.Replay.Cert == nil {
+		t.Fatalf("induction should break altbit: %+v", rep)
+	}
+}
+
+func TestNetFlowOverUDP(t *testing.T) {
+	pair, err := NewLoopbackPair(SeqNum(), func(c net.PacketConn) net.PacketConn {
+		return NewChaosConn(c, ChaosConfig{DropProb: 0.2, HoldProb: 0.2, Seed: 9})
+	}, WithResendInterval(500*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pair.Close()
+	for i := 0; i < 5; i++ {
+		if err := pair.Sender.Send(fmt.Sprintf("m%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pair.Sender.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		select {
+		case got := <-pair.Receiver.Out():
+			if got != fmt.Sprintf("m%d", i) {
+				t.Fatalf("delivery %d = %q", i, got)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("missing delivery %d", i)
+		}
+	}
+}
+
+func TestPacketCodecRoundTrip(t *testing.T) {
+	p := Packet{Header: "d7", Payload: "data"}
+	got, err := DecodePacket(EncodePacket(p))
+	if err != nil || got != p {
+		t.Fatalf("round trip: %v, %v", got, err)
+	}
+}
+
+func TestFormalLayerFlow(t *testing.T) {
+	sys, err := NewAltBitSystem(NonFIFOChannel, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReachAutomaton(sys, AutomatonViolated, 1<<20)
+	if err != nil || res.Found == nil {
+		t.Fatalf("reach: %+v, %v", res, err)
+	}
+	tr, err := AutomatonWitnessTrace(res.Found)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CheckSafety(tr) == nil {
+		t.Fatal("witness should fail the checkers")
+	}
+	safe, err := NewSeqNumSystem(NonFIFOChannel, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := ReachAutomaton(safe, AutomatonViolated, 1<<22)
+	if err != nil || sres.Found != nil || !sres.Exhausted {
+		t.Fatalf("seqnum verification: %+v, %v", sres, err)
+	}
+	if _, err := ComposeAutomata("empty"); err == nil {
+		t.Fatal("empty composition accepted")
+	}
+	if ActionInput == ActionOutput || ActionOutput == ActionInternal {
+		t.Fatal("class constants collide")
+	}
+}
+
+// TestCapstoneMatrix runs every safe protocol in the library — data link
+// and transport, bounded and unbounded headers — against a grid of channel
+// behaviours, entirely through the public API, and validates every run
+// against both checker formulations' facade entry points.
+func TestCapstoneMatrix(t *testing.T) {
+	protocols := []Protocol{
+		SeqNum(),
+		CntLinear(),
+		CntExp(),
+		CntK(3),
+		SlidingWindow(0, 3),
+		GoBackN(0, 2),
+	}
+	policies := []struct {
+		name string
+		mk   func(seed int64) Policy
+	}{
+		{"reliable", func(int64) Policy { return Reliable() }},
+		{"lossy", func(int64) Policy { return DropEvery(3) }},
+		{"delaying", func(int64) Policy { return DelayFirst(5) }},
+		{"probabilistic", func(seed int64) Policy {
+			return Probabilistic(0.25, rand.New(rand.NewSource(seed)))
+		}},
+	}
+	for _, p := range protocols {
+		for _, pol := range policies {
+			p, pol := p, pol
+			t.Run(p.Name()+"/"+pol.name, func(t *testing.T) {
+				r := NewRunner(Config{
+					Protocol:    p,
+					DataPolicy:  pol.mk(1),
+					AckPolicy:   pol.mk(2),
+					RecordTrace: true,
+				})
+				const n = 6
+				for i := 0; i < n; i++ {
+					r.SubmitMsg(fmt.Sprintf("cap-%d", i))
+				}
+				if err := r.RunToIdle(); err != nil {
+					t.Fatal(err)
+				}
+				res := r.Result()
+				if len(res.Delivered) != n {
+					t.Fatalf("delivered %d of %d", len(res.Delivered), n)
+				}
+				for i, d := range res.Delivered {
+					if d != fmt.Sprintf("cap-%d", i) {
+						t.Fatalf("order broken: %v", res.Delivered)
+					}
+				}
+				if err := CheckValid(res.Trace); err != nil {
+					t.Fatalf("trace invalid: %v", err)
+				}
+			})
+		}
+	}
+}
