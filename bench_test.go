@@ -360,6 +360,56 @@ func BenchmarkE9Ablations(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceOverhead measures the cost of trace recording on the same
+// workload with and without a TraceLog attached (target: < 2× slowdown;
+// see EXPERIMENTS.md for the recorded number).
+func BenchmarkTraceOverhead(b *testing.B) {
+	workload := func(b *testing.B, withTrace bool) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			cfg := Config{
+				Protocol:   CntLinear(),
+				DataPolicy: Probabilistic(0.25, rand.New(rand.NewSource(int64(i)))),
+			}
+			if withTrace {
+				cfg.TraceLog = NewTraceLog()
+			}
+			r := NewRunner(cfg)
+			if res := r.Run(8); res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			if withTrace {
+				b.ReportMetric(float64(r.TraceLog().Len()), "events/run")
+			}
+		}
+	}
+	b.Run("bare", func(b *testing.B) { workload(b, false) })
+	b.Run("recorded", func(b *testing.B) { workload(b, true) })
+}
+
+// BenchmarkReplayRoundTrip measures replaying a recorded run.
+func BenchmarkReplayRoundTrip(b *testing.B) {
+	l := NewTraceLog()
+	r := NewRunner(Config{
+		Protocol:   CntLinear(),
+		DataPolicy: Probabilistic(0.25, rand.New(rand.NewSource(1))),
+		TraceLog:   l,
+	})
+	if res := r.Run(8); res.Err != nil {
+		b.Fatal(res.Err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rr, err := Replay(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rr.Divergence != nil {
+			b.Fatalf("diverged: %v", rr.Divergence)
+		}
+	}
+}
+
 func BenchmarkUDPSeqnumRoundTrip(b *testing.B) {
 	pair, err := NewLoopbackPair(SeqNum(), nil)
 	if err != nil {

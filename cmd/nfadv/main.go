@@ -21,6 +21,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/protocol"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func run(args []string, out io.Writer) error {
 		budget    = fs.Int("budget", 1<<16, "pump step budget")
 		full      = fs.Bool("full-cert", false, "print the complete execution trace of the certificate")
 		asJSON    = fs.Bool("json", false, "print the certificate as JSON")
+		traceOut  = fs.String("o", "", "write the violating execution as a replayable trace file (replay with nftrace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,10 +63,13 @@ func run(args []string, out io.Writer) error {
 	}
 	switch *attack {
 	case "replay":
-		return runReplay(out, p, *stranded, *messages, *depth, *nodes, mode)
+		return runReplay(out, p, *stranded, *messages, *depth, *nodes, mode, *traceOut)
 	case "headerbudget":
-		return runHeaderBudget(out, p, *copies, *messages, *depth, *nodes, mode)
+		return runHeaderBudget(out, p, *copies, *messages, *depth, *nodes, mode, *traceOut)
 	case "pump":
+		if *traceOut != "" {
+			return fmt.Errorf("-o: the pump attack certifies a liveness violation by state repetition and produces no replayable trace")
+		}
 		return runPump(out, p, *budget)
 	default:
 		return fmt.Errorf("unknown attack %q", *attack)
@@ -92,12 +97,16 @@ const (
 	certJSON
 )
 
-func runReplay(out io.Writer, p protocol.Protocol, stranded, messages, depth, nodes int, mode certMode) error {
-	r := sim.NewRunner(sim.Config{
+func runReplay(out io.Writer, p protocol.Protocol, stranded, messages, depth, nodes int, mode certMode, traceOut string) error {
+	cfg := sim.Config{
 		Protocol:    p,
 		DataPolicy:  channel.DelayFirst(stranded),
 		RecordTrace: true,
-	})
+	}
+	if traceOut != "" {
+		cfg.TraceLog = trace.NewLog(nil)
+	}
+	r := sim.NewRunner(cfg)
 	for i := 0; i < messages; i++ {
 		if err := r.RunMessage(fmt.Sprintf("m%d", i)); err != nil {
 			return fmt.Errorf("setup message %d: %w", i, err)
@@ -109,12 +118,12 @@ func runReplay(out io.Writer, p protocol.Protocol, stranded, messages, depth, no
 	if err != nil {
 		return err
 	}
-	return report(out, rep, mode)
+	return report(out, rep, mode, traceOut)
 }
 
-func runHeaderBudget(out io.Writer, p protocol.Protocol, copies, messages, depth, nodes int, mode certMode) error {
+func runHeaderBudget(out io.Writer, p protocol.Protocol, copies, messages, depth, nodes int, mode certMode, traceOut string) error {
 	rep, err := adversary.HeaderBudget(p, copies, messages,
-		adversary.ReplayConfig{MaxDepth: depth, MaxNodes: nodes})
+		adversary.ReplayConfig{MaxDepth: depth, MaxNodes: nodes, RecordOps: traceOut != ""})
 	if err != nil {
 		return err
 	}
@@ -125,20 +134,32 @@ func runHeaderBudget(out io.Writer, p protocol.Protocol, copies, messages, depth
 	}
 	fmt.Fprintf(out, "accumulated %d copies of each of %d data headers %v\n",
 		rep.CopiesPerHeader, len(rep.HeadersAccumulated), rep.HeadersAccumulated)
-	return report(out, rep.Replay, mode)
+	return report(out, rep.Replay, mode, traceOut)
 }
 
-func report(out io.Writer, rep adversary.ReplayReport, mode certMode) error {
+func report(out io.Writer, rep adversary.ReplayReport, mode certMode, traceOut string) error {
 	if rep.Cert == nil {
 		fmt.Fprintf(out, "RESISTED: no violating replay schedule found (%d deliveries explored", rep.Nodes)
 		if rep.Truncated {
 			fmt.Fprintf(out, ", search truncated by node budget")
 		}
 		fmt.Fprintf(out, ")\n")
+		if traceOut != "" {
+			fmt.Fprintf(out, "no trace written: there is no violation to record\n")
+		}
 		return nil
 	}
 	if err := rep.Cert.Recheck(); err != nil {
 		return fmt.Errorf("certificate failed recheck: %w", err)
+	}
+	if traceOut != "" {
+		if rep.Cert.Log == nil {
+			return fmt.Errorf("-o: attack did not record a replayable trace")
+		}
+		if err := trace.WriteFile(traceOut, rep.Cert.Log); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Fprintf(out, "replayable trace written to %s (%d events)\n", traceOut, rep.Cert.Log.Len())
 	}
 	switch mode {
 	case certJSON:

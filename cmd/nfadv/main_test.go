@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 func TestReplayAltbitBroken(t *testing.T) {
@@ -24,6 +26,35 @@ func TestReplayFullCert(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "VIOLATION CERTIFICATE") {
 		t.Fatalf("expected full certificate:\n%s", buf.String())
+	}
+}
+
+func TestReplayWritesTraceFile(t *testing.T) {
+	path := t.TempDir() + "/v.nft"
+	var buf bytes.Buffer
+	if err := run([]string{"-attack", "replay", "-protocol", "altbit", "-o", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "replayable trace written") {
+		t.Fatalf("missing trace confirmation:\n%s", buf.String())
+	}
+	l, err := trace.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading written trace: %v", err)
+	}
+	v, ok := l.Verdict()
+	if !ok || v == nil || v.Property != "DL1" {
+		t.Fatalf("trace verdict = %v, %v; want DL1", v, ok)
+	}
+	if l.Meta[trace.MetaProtocol] != "altbit" {
+		t.Fatalf("trace protocol meta = %q", l.Meta[trace.MetaProtocol])
+	}
+}
+
+func TestPumpRejectsTraceFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-attack", "pump", "-protocol", "livelock", "-o", "/tmp/x.nft"}, &buf); err == nil {
+		t.Fatal("pump accepted -o")
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/spec"
+	"repro/internal/trace"
 )
 
 // ErrNoTrace is returned when an attack that must produce a checkable
@@ -47,6 +48,13 @@ type Certificate struct {
 	Replayed []ioa.Packet `json:"replayed"`
 	// ExtraDeliveries lists payloads delivered beyond the valid ones.
 	ExtraDeliveries []string `json:"extraDeliveries,omitempty"`
+	// Log is the replayable event log of the violating execution, ending in
+	// the checker verdict. It is present when the attacked runner carried a
+	// trace log (sim.Config.TraceLog) or the construction was run with
+	// ReplayConfig.RecordOps; internal/replay re-drives it and
+	// replay.Shrink minimizes it. Serialized via the NFT trace format, not
+	// JSON.
+	Log *trace.Log `json:"-"`
 }
 
 // String renders a human-readable certificate.
@@ -97,6 +105,11 @@ type ReplayConfig struct {
 	// MaxNodes caps the total number of explored deliveries. Defaults to
 	// 1 << 16.
 	MaxNodes int
+	// RecordOps attaches a replayable trace log to the internally
+	// constructed runner of HeaderBudget and Induction, so a successful
+	// attack's Certificate carries a Log. ReplaySearch itself records
+	// whenever the caller's runner has a TraceLog, regardless of this flag.
+	RecordOps bool
 }
 
 func (c ReplayConfig) withDefaults() ReplayConfig {
@@ -153,13 +166,21 @@ func ReplaySearch(r *sim.Runner, cfg ReplayConfig) (ReplayReport, error) {
 			newPath := append(append([]ioa.Packet(nil), path...), p)
 			if err := ioa.CheckSafety(child.Recorder().Trace()); err != nil {
 				v, _ := ioa.AsViolation(err)
-				return &Certificate{
+				cert := &Certificate{
 					Protocol:        protocolName(r),
 					Trace:           child.Recorder().Trace(),
 					Violation:       v,
 					Replayed:        newPath,
 					ExtraDeliveries: extraDeliveries(r, child),
 				}
+				if tl := child.TraceLog(); tl != nil {
+					// The fork chain cloned the op log along the winning
+					// branch; seal it with the verdict.
+					cl := tl.Clone()
+					cl.Emit(trace.Event{Kind: trace.KindVerdict, Property: v.Property, Index: v.Index, Detail: v.Detail})
+					cert.Log = cl
+				}
+				return cert
 			}
 			key := child.R.StateKey() + "\x1f" + child.ChData.Key()
 			if !visited[key] {
@@ -174,6 +195,14 @@ func ReplaySearch(r *sim.Runner, cfg ReplayConfig) (ReplayReport, error) {
 
 	rep.Cert = dfs(r, nil, 0)
 	return rep, nil
+}
+
+// opsLog returns a fresh trace log when cfg asks for op recording.
+func opsLog(cfg ReplayConfig) *trace.Log {
+	if !cfg.RecordOps {
+		return nil
+	}
+	return trace.NewLog(nil)
 }
 
 func protocolName(r *sim.Runner) string {
@@ -287,6 +316,7 @@ func HeaderBudget(p protocol.Protocol, copies, messages int, cfg ReplayConfig) (
 		Protocol:    p,
 		DataPolicy:  channel.DelayPerHeader(copies),
 		RecordTrace: true,
+		TraceLog:    opsLog(cfg),
 	})
 	for i := 0; i < messages; i++ {
 		if err := r.RunMessage("m" + fmt.Sprint(i)); err != nil {

@@ -63,7 +63,7 @@ func Induction(p protocol.Protocol, target, maxMessages int, cfg ReplayConfig) (
 	}
 	var rep InductionReport
 
-	r := sim.NewRunner(sim.Config{Protocol: p, RecordTrace: true})
+	r := sim.NewRunner(sim.Config{Protocol: p, RecordTrace: true, TraceLog: opsLog(cfg)})
 	// The accumulating channel behaviour: keep a copy of header h whenever
 	// fewer than `target` copies are in transit. The policy reads the live
 	// channel, so delivered copies are replenished on later sends.

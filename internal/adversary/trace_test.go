@@ -1,0 +1,82 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/protocol"
+	"repro/internal/replay"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestCertificateLogReplayable: an attack found against a trace-logged
+// runner must yield a certificate log that internal/replay re-drives to the
+// same violation, and that replay.Shrink can minimize.
+func TestCertificateLogReplayable(t *testing.T) {
+	l := trace.NewLog(nil)
+	r := sim.NewRunner(sim.Config{
+		Protocol:    protocol.NewAltBit(),
+		DataPolicy:  channel.DelayFirst(1),
+		RecordTrace: true,
+		TraceLog:    l,
+	})
+	for i := 0; i < 2; i++ {
+		if err := r.RunMessage("m" + string(rune('0'+i))); err != nil {
+			t.Fatalf("setup message %d: %v", i, err)
+		}
+	}
+	rep, err := ReplaySearch(r, ReplayConfig{})
+	if err != nil || rep.Cert == nil {
+		t.Fatalf("no certificate: %v", err)
+	}
+	if rep.Cert.Log == nil {
+		t.Fatal("certificate carries no trace log despite TraceLog runner")
+	}
+	v, ok := rep.Cert.Log.Verdict()
+	if !ok || v == nil || v.Property != rep.Cert.Violation.Property {
+		t.Fatalf("log verdict %v does not seal the certificate violation %v", v, rep.Cert.Violation)
+	}
+
+	rr, err := replay.Run(rep.Cert.Log)
+	if err != nil {
+		t.Fatalf("replaying certificate log: %v", err)
+	}
+	if rr.Verdict == nil || rr.Verdict.Property != rep.Cert.Violation.Property {
+		t.Fatalf("replay verdict %v, want %v", rr.Verdict, rep.Cert.Violation)
+	}
+	if !rr.VerdictMatches || rr.Divergence != nil {
+		t.Fatalf("certificate log is not a faithful recording: matches=%v divergence=%v",
+			rr.VerdictMatches, rr.Divergence)
+	}
+
+	sr, err := replay.Shrink(rep.Cert.Log)
+	if err != nil {
+		t.Fatalf("shrinking certificate log: %v", err)
+	}
+	if sr.Property != rep.Cert.Violation.Property {
+		t.Fatalf("shrink preserved %q, want %q", sr.Property, rep.Cert.Violation.Property)
+	}
+}
+
+// TestHeaderBudgetRecordOps: RecordOps threads a replayable log through the
+// internally constructed runner.
+func TestHeaderBudgetRecordOps(t *testing.T) {
+	rep, err := HeaderBudget(protocol.NewAltBit(), 2, 2, ReplayConfig{RecordOps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replay.Cert == nil {
+		t.Fatal("header budget failed to break altbit")
+	}
+	if rep.Replay.Cert.Log == nil {
+		t.Fatal("RecordOps set but certificate has no log")
+	}
+	rr, err := replay.Run(rep.Replay.Cert.Log)
+	if err != nil {
+		t.Fatalf("replaying header-budget certificate: %v", err)
+	}
+	if !rr.VerdictMatches {
+		t.Fatalf("replay verdict %v does not match recorded %v", rr.Verdict, rr.RecordedVerdict)
+	}
+}

@@ -1,0 +1,66 @@
+package channel
+
+import (
+	"math/rand"
+
+	"repro/internal/ioa"
+	"repro/internal/trace"
+)
+
+// This file connects channel policies to the trace subsystem: Capture
+// records every policy verdict into a trace sink, FromDecisions replays a
+// recorded verdict stream as a policy, and RecordedProbabilistic is the
+// probabilistic physical layer with its raw RNG draws logged.
+//
+// Together they close the record→replay loop for the channel: a policy's
+// decision sequence is the *only* nondeterminism in a simulated execution
+// (the endpoint automata are deterministic and the runner's scheduling is
+// fixed), so capturing it makes any run — including a probabilistic or
+// adversarial one — reproducible bit for bit.
+
+// Capture wraps pol so that every verdict is also emitted to sink as a
+// trace Decision event for channel direction d, in consultation order. The
+// wrapped policy's behaviour is unchanged.
+func Capture(pol Policy, d ioa.Dir, sink trace.Sink) Policy {
+	return PolicyFunc(func(p ioa.Packet) Decision {
+		dec := pol.OnSend(p)
+		sink.Emit(trace.Event{Kind: trace.KindDecision, Dir: d, Decision: trace.Decision(dec)})
+		return dec
+	})
+}
+
+// FromDecisions replays a recorded decision stream as a Policy. Once the
+// stream is exhausted — which happens when a shrunk or edited trace makes
+// the protocol send more packets than the recording did — every further
+// packet gets the fallback decision, and *exhausted (when non-nil) is set.
+// Delay is the conservative fallback for replaying attacks: it strands the
+// extra copies instead of inventing deliveries the recording never made.
+func FromDecisions(decisions []trace.Decision, fallback Decision, exhausted *bool) Policy {
+	i := 0
+	return PolicyFunc(func(ioa.Packet) Decision {
+		if i < len(decisions) {
+			d := Decision(decisions[i])
+			i++
+			return d
+		}
+		if exhausted != nil {
+			*exhausted = true
+		}
+		return fallback
+	})
+}
+
+// RecordedProbabilistic is Probabilistic with every raw RNG draw logged to
+// sink as a trace RNG event, for audit of the randomness behind the
+// recorded decisions. (Replay consumes the captured decisions, not the
+// draws; the draws document where the decisions came from.)
+func RecordedProbabilistic(q float64, rng *rand.Rand, sink trace.Sink) Policy {
+	return PolicyFunc(func(ioa.Packet) Decision {
+		v := rng.Float64()
+		sink.Emit(trace.Event{Kind: trace.KindRNG, Bits: uint64(v * (1 << 53))})
+		if v < q {
+			return Delay
+		}
+		return DeliverNow
+	})
+}

@@ -524,7 +524,7 @@ func RunE4(params E4Params) ([]E4Series, error) {
 			for seed := 0; seed < params.Seeds; seed++ {
 				r := sim.NewRunner(sim.Config{
 					Protocol:   p,
-					DataPolicy: channel.Probabilistic(q, rand.New(rand.NewSource(int64(1000*seed+1)))),
+					DataPolicy: channel.Probabilistic(q, rand.New(rand.NewSource(SplitSeed(int64(seed), fmt.Sprintf("E4/%s/q=%g", p.Name(), q))))),
 				})
 				ci := 0
 				for i := 0; i < maxN; i++ {
@@ -627,7 +627,7 @@ func RunE5(params E5Params) ([]E5Row, error) {
 		for seed := 0; seed < params.Seeds; seed++ {
 			res := sim.NewRunner(sim.Config{
 				Protocol:   protocol.NewCntLinear(),
-				DataPolicy: channel.Probabilistic(params.Q, rand.New(rand.NewSource(int64(7000*seed+n)))),
+				DataPolicy: channel.Probabilistic(params.Q, rand.New(rand.NewSource(SplitSeed(int64(seed), fmt.Sprintf("E5/n=%d", n))))),
 			}).Run(n)
 			if res.Err != nil {
 				return nil, fmt.Errorf("E5 n=%d seed=%d: %w", n, seed, res.Err)
@@ -700,7 +700,7 @@ func RunE6(q float64, n, seed int) ([]E6Row, error) {
 	} {
 		res := sim.NewRunner(sim.Config{
 			Protocol:   p,
-			DataPolicy: channel.Probabilistic(q, rand.New(rand.NewSource(int64(31+seed)))),
+			DataPolicy: channel.Probabilistic(q, rand.New(rand.NewSource(SplitSeed(int64(seed), "E6/"+p.Name())))),
 		}).Run(n)
 		if res.Err != nil {
 			return rows, fmt.Errorf("E6 %s: %w", p.Name(), res.Err)

@@ -493,7 +493,7 @@ func RunE11(qs []float64, n, seeds int) ([]E11Series, error) {
 		for seed := 0; seed < seeds; seed++ {
 			r := sim.NewRunner(sim.Config{
 				Protocol:   protocol.NewCntLinear(),
-				DataPolicy: channel.Probabilistic(q, rand.New(rand.NewSource(int64(4000*seed+7)))),
+				DataPolicy: channel.Probabilistic(q, rand.New(rand.NewSource(SplitSeed(int64(seed), fmt.Sprintf("E11/q=%g", q))))),
 				StepBudget: budget,
 			})
 			for i := 0; i < n; i++ {

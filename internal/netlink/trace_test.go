@@ -1,0 +1,78 @@
+package netlink
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/ioa"
+	"repro/internal/protocol"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// TestRecordedSessionOverChaos records a real two-goroutine UDP session
+// under seeded loss and reordering into one combined log, and checks the
+// log against the paper's properties: because both stations emit sends
+// before the datagram hits the socket, the interleaved log is causally
+// ordered and PL1/DL1/DL2 must hold on its projection.
+func TestRecordedSessionOverChaos(t *testing.T) {
+	l := trace.NewLog(nil)
+	seed := int64(7)
+	wrap := func(c net.PacketConn) net.PacketConn {
+		seed++
+		return NewChaosConn(c, ChaosConfig{DropProb: 0.2, HoldProb: 0.2, Seed: seed})
+	}
+	pair, err := NewRecordedLoopbackPair(protocol.NewSeqNum(), wrap, l,
+		WithResendInterval(500*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	want := sendAll(t, pair, n)
+	got := collect(t, pair.Receiver.Out(), n)
+	if err := pair.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivered %v, want %v", got, want)
+		}
+	}
+
+	if l.Meta[trace.MetaProtocol] != "seqnum" || l.Meta[trace.MetaKind] != "netlink" {
+		t.Fatalf("session meta = %v", l.Meta)
+	}
+	s := trace.Collect(l)
+	if s.Messages != n || s.Deliveries != n {
+		t.Fatalf("session log: %d submits, %d deliveries, want %d each", s.Messages, s.Deliveries, n)
+	}
+	if s.DataSends < n || s.DataRecvs < 1 || s.AckSends < 1 || s.AckRecvs < 1 {
+		t.Fatalf("implausible traffic counts: %+v", s)
+	}
+	// The chaos channel drops datagrams, so receives never exceed sends.
+	if s.DataRecvs > s.DataSends || s.AckRecvs > s.AckSends {
+		t.Fatalf("more receives than sends: %+v", s)
+	}
+	if err := ioa.CheckSafety(l.IOATrace()); err != nil {
+		t.Fatalf("recorded session violates safety: %v", err)
+	}
+
+	// Observational recordings must be refused by the replayer.
+	if _, err := replay.Run(l); err == nil {
+		t.Fatal("replayer accepted a netlink session log")
+	}
+
+	// And they round-trip through the trace codec like any other log.
+	path := t.TempDir() + "/session.nft"
+	if err := trace.WriteFile(path, l); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != l.Len() {
+		t.Fatalf("codec round trip lost events: %d vs %d", back.Len(), l.Len())
+	}
+}

@@ -1,0 +1,237 @@
+// Package replay re-drives recorded executions deterministically.
+//
+// A trace.Log captured by internal/sim contains two interleaved strands: the
+// driver *operations* (submit, transmit, drain, stale delivery) and the
+// *observations* they caused (packet sends and receives, message deliveries,
+// channel-policy decisions). Replay re-issues the operations against a fresh
+// runner while substituting the recorded decision stream for the channel
+// policies — the only source of nondeterminism in a simulated execution — so
+// the original run is reproduced bit for bit. The replayed execution is
+// re-checked against the paper's properties (PL1 on both channels, DL1, DL2,
+// and quiescent DL3) independently of the recorded verdict, and re-recorded
+// into a fresh log, which is what makes trace shrinking (see Shrink) sound:
+// a shrunk trace is never trusted, it is always re-executed and re-judged.
+package replay
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/channel"
+	"repro/internal/ioa"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// LookupProtocol resolves a recorded protocol name, including the
+// parameterised families (cheat<d>, cntk<k>) and the deliberately broken
+// specimens (livelock, cntnobind) that are not part of the main registry.
+func LookupProtocol(name string) (protocol.Protocol, error) {
+	if p, ok := protocol.Registry()[name]; ok {
+		return p, nil
+	}
+	switch name {
+	case "livelock":
+		return protocol.NewLivelock(), nil
+	case "cntnobind":
+		return protocol.NewCntNoBind(), nil
+	}
+	if s, ok := strings.CutPrefix(name, "cheat"); ok {
+		if d, err := strconv.Atoi(s); err == nil && d > 0 {
+			return protocol.NewCheat(d), nil
+		}
+	}
+	if s, ok := strings.CutPrefix(name, "cntk"); ok {
+		if k, err := strconv.Atoi(s); err == nil && k > 0 {
+			return protocol.NewCntK(k), nil
+		}
+	}
+	return nil, fmt.Errorf("replay: unknown protocol %q (known: %s, plus livelock, cntnobind, cheat<d>, cntk<k>)",
+		name, strings.Join(protocol.Names(), ", "))
+}
+
+// Divergence reports the first point where the replayed execution differs
+// from the recording. A faithful replay of an unmodified trace has none; a
+// shrunk or hand-edited trace usually diverges (the removed operations change
+// what is feasible), which is fine — the replay's own verdict is what counts.
+type Divergence struct {
+	// Index is the position in the replayable projection (operations,
+	// observations and decisions; RNG-audit and verdict events excluded).
+	Index int
+	// Recorded and Replayed render the mismatching events ("<none>" when one
+	// side is exhausted).
+	Recorded, Replayed string
+}
+
+func (d *Divergence) String() string {
+	return fmt.Sprintf("event %d: recorded %s, replayed %s", d.Index, d.Recorded, d.Replayed)
+}
+
+// Result is the outcome of replaying a trace.
+type Result struct {
+	// Protocol is the protocol name from the trace metadata.
+	Protocol string
+	// Delivered lists payloads delivered to the higher layer during replay.
+	Delivered []string
+	// Metrics are the replayed run's resource measurements.
+	Metrics sim.Metrics
+	// Trace is the replayed execution's ioa trace (always recorded).
+	Trace ioa.Trace
+	// Verdict is the safety re-check of the replayed execution (PL1 both
+	// directions, DL1, DL2); nil if safe.
+	Verdict *ioa.Violation
+	// DL3 is the quiescent-liveness check of the replayed execution; nil if
+	// every submitted message was delivered. Attack traces that strand
+	// messages in flight fail it by design, so it is reported separately
+	// from Verdict.
+	DL3 *ioa.Violation
+	// RecordedVerdict is the verdict event stored in the input trace, if
+	// any; HadRecordedVerdict says whether one was present.
+	RecordedVerdict    *ioa.Violation
+	HadRecordedVerdict bool
+	// VerdictMatches reports whether the re-checked safety verdict agrees
+	// with the recorded one: same violated property, or both clean (a trace
+	// without a verdict event counts as clean).
+	VerdictMatches bool
+	// Log is the re-recorded event log of the replayed execution, with a
+	// fresh verdict event appended. Shrinking uses it as the canonical form
+	// of a candidate trace.
+	Log *trace.Log
+	// Ops counts the re-issued driver operations.
+	Ops int
+	// StaleSkipped counts recorded stale deliveries that were infeasible in
+	// the replayed execution (possible only for shrunk or edited traces).
+	StaleSkipped int
+	// DecisionsExhausted is set when the protocol consulted a channel policy
+	// more often than the recording did (ditto).
+	DecisionsExhausted bool
+	// Divergence is the first mismatch between recording and replay, nil if
+	// the replay reproduced the recording exactly.
+	Divergence *Divergence
+}
+
+// Run replays a recorded simulation trace and re-checks it. It fails on
+// traces that are not re-drivable: unknown protocols, or observational
+// recordings (e.g. netlink session logs, which capture only one vantage
+// point of a real network run and cannot be re-executed).
+func Run(l *trace.Log) (*Result, error) {
+	if kind := l.Meta[trace.MetaKind]; kind != "" && kind != "sim" {
+		return nil, fmt.Errorf("replay: trace kind %q is observational, only %q traces can be re-driven", kind, "sim")
+	}
+	name := l.Meta[trace.MetaProtocol]
+	if name == "" {
+		return nil, fmt.Errorf("replay: trace has no %q metadata", trace.MetaProtocol)
+	}
+	proto, err := LookupProtocol(name)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Protocol: name}
+	rl := trace.NewLog(nil)
+	for k, v := range l.Meta {
+		rl.SetMeta(k, v)
+	}
+	rl.SetMeta(trace.MetaSource, "replay")
+	r := sim.NewRunner(sim.Config{
+		Protocol: proto,
+		// Substitute the recorded decision streams for the channel policies.
+		// Delay is the conservative fallback once a stream runs dry: extra
+		// packets strand in transit rather than being delivered in ways the
+		// recording never sanctioned.
+		DataPolicy:  channel.FromDecisions(l.Decisions(ioa.TtoR), channel.Delay, &res.DecisionsExhausted),
+		AckPolicy:   channel.FromDecisions(l.Decisions(ioa.RtoT), channel.Delay, &res.DecisionsExhausted),
+		RecordTrace: true,
+		TraceLog:    rl,
+	})
+
+	for _, e := range l.Events {
+		if !e.Kind.IsOp() {
+			continue
+		}
+		res.Ops++
+		switch e.Kind {
+		case trace.KindSubmit:
+			r.SubmitMsg(e.Msg.Payload)
+		case trace.KindTransmit:
+			r.StepTransmit()
+		case trace.KindDrain:
+			r.DrainAcks()
+		case trace.KindStale:
+			if err := r.DeliverStale(e.Dir, e.Pkt); err != nil {
+				// The delayed copy does not exist in this (shrunk) execution;
+				// the move is infeasible and skipped.
+				res.StaleSkipped++
+			}
+		}
+	}
+
+	run := r.Result()
+	res.Delivered = run.Delivered
+	res.Metrics = run.Metrics
+	res.Trace = run.Trace
+	if err := ioa.CheckSafety(run.Trace); err != nil {
+		res.Verdict, _ = ioa.AsViolation(err)
+	}
+	if err := ioa.CheckDL3Quiescent(run.Trace); err != nil {
+		res.DL3, _ = ioa.AsViolation(err)
+	}
+	res.RecordedVerdict, res.HadRecordedVerdict = l.Verdict()
+	res.VerdictMatches = sameVerdict(res.Verdict, res.RecordedVerdict)
+	res.Divergence = diverge(l, rl)
+
+	ve := trace.Event{Kind: trace.KindVerdict}
+	if res.Verdict != nil {
+		ve.Property, ve.Index, ve.Detail = res.Verdict.Property, res.Verdict.Index, res.Verdict.Detail
+	}
+	rl.Emit(ve)
+	res.Log = rl
+	return res, nil
+}
+
+func sameVerdict(a, b *ioa.Violation) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.Property == b.Property
+}
+
+// replayable projects a log onto the events a replay must reproduce:
+// operations, observations and decisions. RNG-audit and verdict events are
+// bookkeeping, not behaviour.
+func replayable(l *trace.Log) []trace.Event {
+	out := make([]trace.Event, 0, len(l.Events))
+	for _, e := range l.Events {
+		if e.Kind == trace.KindRNG || e.Kind == trace.KindVerdict {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func diverge(recorded, replayed *trace.Log) *Divergence {
+	a, b := replayable(recorded), replayable(replayed)
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return &Divergence{Index: i, Recorded: a[i].String(), Replayed: b[i].String()}
+		}
+	}
+	if len(a) != len(b) {
+		d := &Divergence{Index: n, Recorded: "<none>", Replayed: "<none>"}
+		if n < len(a) {
+			d.Recorded = a[n].String()
+		}
+		if n < len(b) {
+			d.Replayed = b[n].String()
+		}
+		return d
+	}
+	return nil
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/ioa"
 	"repro/internal/protocol"
+	"repro/internal/trace"
 )
 
 // ErrStalled is wrapped by run errors when the protocol stops making
@@ -48,6 +49,14 @@ type Config struct {
 	// collected either way; traces are needed for checking and
 	// certificates but dominate memory on long runs.
 	RecordTrace bool
+	// TraceLog, when non-nil, receives a deterministic-replay event log of
+	// the run: every driver operation (submit, transmit, drain, stale
+	// delivery), every externally visible action, and every channel-policy
+	// decision. The channel policies are transparently wrapped so their
+	// verdicts are captured; internal/replay re-drives a runner from such a
+	// log bit for bit. The runner stamps the log's protocol metadata if it
+	// is unset.
+	TraceLog *trace.Log
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +121,7 @@ type Runner struct {
 	ChData, ChAck *channel.NonFIFO
 
 	rec       *ioa.Recorder
+	tlog      *trace.Log
 	headers   map[string]bool
 	sent      int // send_msg counter (message IDs)
 	delivered []string
@@ -138,6 +148,17 @@ func NewRunner(cfg Config) *Runner {
 	if cfg.RecordTrace {
 		run.rec = ioa.NewRecorder()
 	}
+	if cfg.TraceLog != nil {
+		run.tlog = cfg.TraceLog
+		if run.tlog.Meta[trace.MetaProtocol] == "" {
+			run.tlog.SetMeta(trace.MetaProtocol, cfg.Protocol.Name())
+		}
+		if run.tlog.Meta[trace.MetaKind] == "" {
+			run.tlog.SetMeta(trace.MetaKind, "sim")
+		}
+		run.cfg.DataPolicy = channel.Capture(run.cfg.DataPolicy, ioa.TtoR, run.tlog)
+		run.cfg.AckPolicy = channel.Capture(run.cfg.AckPolicy, ioa.RtoT, run.tlog)
+	}
 	return run
 }
 
@@ -147,9 +168,15 @@ func NewRunner(cfg Config) *Runner {
 // channel.Reliable() is exactly that point.
 func (r *Runner) SetPolicies(data, ack channel.Policy) {
 	if data != nil {
+		if r.tlog != nil {
+			data = channel.Capture(data, ioa.TtoR, r.tlog)
+		}
 		r.cfg.DataPolicy = data
 	}
 	if ack != nil {
+		if r.tlog != nil {
+			ack = channel.Capture(ack, ioa.RtoT, r.tlog)
+		}
 		r.cfg.AckPolicy = ack
 	}
 }
@@ -167,8 +194,17 @@ func (r *Runner) Fork(data, ack channel.Policy) *Runner {
 		ack = channel.Reliable()
 	}
 	cfg := r.cfg
+	var ftlog *trace.Log
+	if r.tlog != nil {
+		// The fork's log diverges from the parent's at this point; wrap the
+		// fresh policies so the fork's own decisions are captured too.
+		ftlog = r.tlog.Clone()
+		data = channel.Capture(data, ioa.TtoR, ftlog)
+		ack = channel.Capture(ack, ioa.RtoT, ftlog)
+	}
 	cfg.DataPolicy = data
 	cfg.AckPolicy = ack
+	cfg.TraceLog = ftlog
 	f := &Runner{
 		cfg:       cfg,
 		T:         r.T.Clone(),
@@ -188,6 +224,7 @@ func (r *Runner) Fork(data, ack channel.Policy) *Runner {
 	if r.rec != nil {
 		f.rec = r.rec.Clone()
 	}
+	f.tlog = ftlog
 	// Rebind channel genies to the forked channels; the clones still point
 	// at the original runner's channels otherwise.
 	if tg, ok := f.T.(protocol.AckGenieUser); ok {
@@ -240,6 +277,9 @@ func (r *Runner) SubmitMsg(payload string) {
 	if r.rec != nil {
 		r.rec.SendMsg(ioa.Message{ID: r.sent, Payload: payload})
 	}
+	if r.tlog != nil {
+		r.tlog.Emit(trace.Event{Kind: trace.KindSubmit, Msg: ioa.Message{ID: r.sent, Payload: payload}})
+	}
 	r.sent++
 	r.curMsg++
 	r.metrics.DataPacketsPerMessage = append(r.metrics.DataPacketsPerMessage, 0)
@@ -251,6 +291,9 @@ func (r *Runner) SubmitMsg(payload string) {
 // packet, apply the data policy, and (on DeliverNow) deliver it to the
 // receiver. It reports whether an output action was enabled.
 func (r *Runner) StepTransmit() bool {
+	if r.tlog != nil {
+		r.tlog.Emit(trace.Event{Kind: trace.KindTransmit})
+	}
 	p, ok := r.T.NextPkt()
 	if !ok {
 		return false
@@ -274,6 +317,9 @@ func (r *Runner) StepTransmit() bool {
 
 // DrainAcks moves every enabled receiver output through the ack channel.
 func (r *Runner) DrainAcks() {
+	if r.tlog != nil {
+		r.tlog.Emit(trace.Event{Kind: trace.KindDrain})
+	}
 	for {
 		a, ok := r.R.NextPkt()
 		if !ok {
@@ -300,6 +346,7 @@ func (r *Runner) DeliverStale(d ioa.Dir, p ioa.Packet) error {
 		if err := r.ChData.Deliver(p); err != nil {
 			return err
 		}
+		r.recordStale(d, p)
 		r.recordRecv(ioa.TtoR, p)
 		r.R.DeliverPkt(p)
 		r.collectDelivered()
@@ -307,6 +354,7 @@ func (r *Runner) DeliverStale(d ioa.Dir, p ioa.Packet) error {
 		if err := r.ChAck.Deliver(p); err != nil {
 			return err
 		}
+		r.recordStale(d, p)
 		r.recordRecv(ioa.RtoT, p)
 		r.T.DeliverPkt(p)
 	default:
@@ -314,6 +362,14 @@ func (r *Runner) DeliverStale(d ioa.Dir, p ioa.Packet) error {
 	}
 	r.sampleState()
 	return nil
+}
+
+// recordStale logs the stale-delivery operation (before its receive_pkt
+// observation, so replay re-issues the op and then verifies the effect).
+func (r *Runner) recordStale(d ioa.Dir, p ioa.Packet) {
+	if r.tlog != nil {
+		r.tlog.Emit(trace.Event{Kind: trace.KindStale, Dir: d, Pkt: p})
+	}
 }
 
 // Delivered returns the payloads delivered so far (live view).
@@ -324,6 +380,10 @@ func (r *Runner) SentMessages() int { return r.sent }
 
 // Recorder exposes the trace recorder (nil unless RecordTrace).
 func (r *Runner) Recorder() *ioa.Recorder { return r.rec }
+
+// TraceLog exposes the replayable event log (nil unless Config.TraceLog was
+// set). Forked runners carry independent clones.
+func (r *Runner) TraceLog() *trace.Log { return r.tlog }
 
 // Result snapshots the run outcome.
 func (r *Runner) Result() Result { return r.result(nil) }
@@ -365,6 +425,9 @@ func (r *Runner) collectDelivered() {
 		if r.rec != nil {
 			r.rec.ReceiveMsg(ioa.Message{ID: len(r.delivered), Payload: payload})
 		}
+		if r.tlog != nil {
+			r.tlog.Emit(trace.Event{Kind: trace.KindRecvMsg, Msg: ioa.Message{ID: len(r.delivered), Payload: payload}})
+		}
 		r.delivered = append(r.delivered, payload)
 	}
 }
@@ -372,6 +435,9 @@ func (r *Runner) collectDelivered() {
 func (r *Runner) recordSend(d ioa.Dir, p ioa.Packet) {
 	if r.rec != nil {
 		r.rec.SendPkt(d, p)
+	}
+	if r.tlog != nil {
+		r.tlog.Emit(trace.Event{Kind: trace.KindSendPkt, Dir: d, Pkt: p})
 	}
 	r.headers[p.Header] = true
 	if d == ioa.TtoR {
@@ -387,6 +453,9 @@ func (r *Runner) recordSend(d ioa.Dir, p ioa.Packet) {
 func (r *Runner) recordRecv(d ioa.Dir, p ioa.Packet) {
 	if r.rec != nil {
 		r.rec.ReceivePkt(d, p)
+	}
+	if r.tlog != nil {
+		r.tlog.Emit(trace.Event{Kind: trace.KindRecvPkt, Dir: d, Pkt: p})
 	}
 }
 

@@ -1,0 +1,306 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/ioa"
+)
+
+// The NFT on-disk format, version 1:
+//
+//	magic   "NFTRC"            (5 bytes)
+//	version 0x01               (1 byte)
+//	meta    uvarint count, then count × (string key, string value)
+//	events  until EOF: kind byte + kind-specific fields
+//
+// Strings are uvarint length + bytes; signed ints are zigzag varints;
+// directions and decisions are single bytes. The format is append-only and
+// self-describing: a reader needs nothing but the file, and unknown trailing
+// bytes fail loudly rather than silently.
+
+const (
+	magic   = "NFTRC"
+	version = 1
+)
+
+// ErrFormat is wrapped by decode errors for malformed trace files.
+var ErrFormat = errors.New("trace: malformed trace file")
+
+// Writer streams a trace log to an io.Writer with bounded memory: the
+// header is written on construction and each event is encoded as it is
+// emitted. Writer implements Sink; the first encoding error is latched and
+// reported by Err and Flush.
+type Writer struct {
+	bw  *bufio.Writer
+	buf []byte
+	err error
+}
+
+// NewWriter writes the file header (magic, version, meta) and returns a
+// streaming writer.
+func NewWriter(w io.Writer, meta map[string]string) (*Writer, error) {
+	tw := &Writer{bw: bufio.NewWriter(w)}
+	if _, err := tw.bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	if err := tw.bw.WriteByte(version); err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(meta))
+	for k := range meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	tw.buf = binary.AppendUvarint(tw.buf[:0], uint64(len(keys)))
+	for _, k := range keys {
+		tw.buf = appendString(tw.buf, k)
+		tw.buf = appendString(tw.buf, meta[k])
+	}
+	if _, err := tw.bw.Write(tw.buf); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+// Emit implements Sink. Errors are latched; see Err.
+func (tw *Writer) Emit(e Event) {
+	if tw.err != nil {
+		return
+	}
+	tw.buf = appendEvent(tw.buf[:0], e)
+	if _, err := tw.bw.Write(tw.buf); err != nil {
+		tw.err = err
+	}
+}
+
+// Err reports the first emission error, if any.
+func (tw *Writer) Err() error { return tw.err }
+
+// Flush flushes buffered events and reports any latched error.
+func (tw *Writer) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	return tw.bw.Flush()
+}
+
+// Reader streams a trace log from an io.Reader.
+type Reader struct {
+	br   *bufio.Reader
+	meta map[string]string
+}
+
+// NewReader validates the header and returns a streaming reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrFormat, err)
+	}
+	if string(head[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, head[:len(magic)])
+	}
+	if head[len(magic)] != version {
+		return nil, fmt.Errorf("%w: unsupported version %d (have %d)", ErrFormat, head[len(magic)], version)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: meta count: %v", ErrFormat, err)
+	}
+	meta := make(map[string]string, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: meta key: %v", ErrFormat, err)
+		}
+		v, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: meta value: %v", ErrFormat, err)
+		}
+		meta[k] = v
+	}
+	return &Reader{br: br, meta: meta}, nil
+}
+
+// Meta returns the file's metadata.
+func (tr *Reader) Meta() map[string]string { return tr.meta }
+
+// Next decodes the next event; it returns io.EOF at a clean end of log.
+func (tr *Reader) Next() (Event, error) { return readEvent(tr.br) }
+
+// Encode writes the whole log to w in the NFT format.
+func (l *Log) Encode(w io.Writer) error {
+	tw, err := NewWriter(w, l.Meta)
+	if err != nil {
+		return err
+	}
+	for _, e := range l.Events {
+		tw.Emit(e)
+	}
+	return tw.Flush()
+}
+
+// ReadLog decodes a complete log from r.
+func ReadLog(r io.Reader) (*Log, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	l := NewLog(tr.Meta())
+	for {
+		e, err := tr.Next()
+		if err == io.EOF {
+			return l, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		l.Events = append(l.Events, e)
+	}
+}
+
+// WriteFile writes the log to path in the NFT format.
+func WriteFile(path string, l *Log) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := l.Encode(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads an NFT trace file.
+func ReadFile(path string) (*Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadLog(f)
+}
+
+// --- event encoding ---
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendEvent(b []byte, e Event) []byte {
+	b = append(b, byte(e.Kind))
+	switch e.Kind {
+	case KindSubmit, KindRecvMsg:
+		b = binary.AppendVarint(b, int64(e.Msg.ID))
+		b = appendString(b, e.Msg.Payload)
+	case KindTransmit, KindDrain:
+		// no fields
+	case KindStale, KindSendPkt, KindRecvPkt:
+		b = append(b, byte(e.Dir))
+		b = appendString(b, e.Pkt.Header)
+		b = appendString(b, e.Pkt.Payload)
+	case KindDecision:
+		b = append(b, byte(e.Dir), byte(e.Decision))
+	case KindRNG:
+		b = binary.AppendUvarint(b, e.Bits)
+	case KindVerdict:
+		b = appendString(b, e.Property)
+		b = binary.AppendVarint(b, int64(e.Index))
+		b = appendString(b, e.Detail)
+	}
+	return b
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<24 {
+		return "", fmt.Errorf("implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func readEvent(br *bufio.Reader) (Event, error) {
+	kb, err := br.ReadByte()
+	if err == io.EOF {
+		return Event{}, io.EOF
+	}
+	if err != nil {
+		return Event{}, fmt.Errorf("%w: event kind: %v", ErrFormat, err)
+	}
+	e := Event{Kind: Kind(kb)}
+	fail := func(field string, err error) (Event, error) {
+		return Event{}, fmt.Errorf("%w: %s %s: %v", ErrFormat, e.Kind, field, err)
+	}
+	switch e.Kind {
+	case KindSubmit, KindRecvMsg:
+		id, err := binary.ReadVarint(br)
+		if err != nil {
+			return fail("msg id", err)
+		}
+		e.Msg.ID = int(id)
+		if e.Msg.Payload, err = readString(br); err != nil {
+			return fail("payload", err)
+		}
+	case KindTransmit, KindDrain:
+		// no fields
+	case KindStale, KindSendPkt, KindRecvPkt:
+		db, err := br.ReadByte()
+		if err != nil {
+			return fail("dir", err)
+		}
+		e.Dir = ioa.Dir(db)
+		if e.Pkt.Header, err = readString(br); err != nil {
+			return fail("header", err)
+		}
+		if e.Pkt.Payload, err = readString(br); err != nil {
+			return fail("payload", err)
+		}
+	case KindDecision:
+		db, err := br.ReadByte()
+		if err != nil {
+			return fail("dir", err)
+		}
+		dc, err := br.ReadByte()
+		if err != nil {
+			return fail("decision", err)
+		}
+		e.Dir, e.Decision = ioa.Dir(db), Decision(dc)
+	case KindRNG:
+		bits, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fail("bits", err)
+		}
+		e.Bits = bits
+	case KindVerdict:
+		var err error
+		if e.Property, err = readString(br); err != nil {
+			return fail("property", err)
+		}
+		idx, err := binary.ReadVarint(br)
+		if err != nil {
+			return fail("index", err)
+		}
+		e.Index = int(idx)
+		if e.Detail, err = readString(br); err != nil {
+			return fail("detail", err)
+		}
+	default:
+		return Event{}, fmt.Errorf("%w: unknown event kind %d", ErrFormat, kb)
+	}
+	return e, nil
+}

@@ -1,0 +1,77 @@
+package trace
+
+import "repro/internal/ioa"
+
+// Stats is an overview of a trace log, in the spirit of a record/replay
+// tool's statistics pass: how many events of each kind, the traffic split
+// per channel, and the alphabet the execution used.
+type Stats struct {
+	// Events is the total event count.
+	Events int
+	// Ops is the number of driver operations (replayable moves).
+	Ops int
+	// ByKind counts events per kind.
+	ByKind map[Kind]int
+	// DataSends/AckSends and DataRecvs/AckRecvs split packet traffic by
+	// channel direction.
+	DataSends, AckSends int
+	DataRecvs, AckRecvs int
+	// Stales counts adversarial stale-copy deliveries.
+	Stales int
+	// Messages and Deliveries count send_msg and receive_msg actions.
+	Messages, Deliveries int
+	// Headers is the number of distinct packet headers observed.
+	Headers int
+	// Decisions counts channel-policy verdicts per decision.
+	Decisions map[Decision]int
+	// Verdict is the recorded checker verdict property ("" if the log has
+	// no verdict event or the execution passed).
+	Verdict string
+	// HasVerdict reports whether a verdict event is present.
+	HasVerdict bool
+}
+
+// Collect computes Stats over a log.
+func Collect(l *Log) Stats {
+	s := Stats{
+		ByKind:    make(map[Kind]int),
+		Decisions: make(map[Decision]int),
+	}
+	headers := make(map[string]bool)
+	for _, e := range l.Events {
+		s.Events++
+		s.ByKind[e.Kind]++
+		if e.Kind.IsOp() {
+			s.Ops++
+		}
+		switch e.Kind {
+		case KindSubmit:
+			s.Messages++
+		case KindRecvMsg:
+			s.Deliveries++
+		case KindSendPkt:
+			headers[e.Pkt.Header] = true
+			if e.Dir == ioa.TtoR {
+				s.DataSends++
+			} else {
+				s.AckSends++
+			}
+		case KindRecvPkt:
+			headers[e.Pkt.Header] = true
+			if e.Dir == ioa.TtoR {
+				s.DataRecvs++
+			} else {
+				s.AckRecvs++
+			}
+		case KindStale:
+			s.Stales++
+		case KindDecision:
+			s.Decisions[e.Decision]++
+		case KindVerdict:
+			s.HasVerdict = true
+			s.Verdict = e.Property
+		}
+	}
+	s.Headers = len(headers)
+	return s
+}

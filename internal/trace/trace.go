@@ -1,0 +1,350 @@
+// Package trace defines the repo's persistent execution-trace format: a
+// compact, versioned, self-describing event log that captures everything
+// needed to re-run a simulation bit-for-bit.
+//
+// A recorded execution has two interleaved strands:
+//
+//   - *operations* — the driver-level moves that advance the system
+//     (Submit, Transmit, Drain, Stale). Replaying a trace means re-issuing
+//     exactly these calls against a fresh runner.
+//   - *observations* — the externally visible actions they caused
+//     (SendPkt, RecvPkt, RecvMsg) plus the channel-policy Decision for
+//     every send and any raw RNG draws. Observations are not re-issued on
+//     replay; they are compared against the replayed run, event for event,
+//     to certify that the replay is faithful.
+//
+// Because every source of nondeterminism in the model is a channel-policy
+// decision (the paper externalises all channel choice into behaviours), a
+// log's Decision stream is a complete witness of the channel behaviour:
+// substituting it for the live policy makes any recorded run — including an
+// adversarial attack — deterministic. internal/replay implements that
+// substitution, and the delta-debugging shrinker there minimises violating
+// logs by deleting operation groups while the violation persists.
+//
+// Logs live in memory as *Log (cloneable, so speculative forks can carry
+// them) and on disk in the NFT binary format (see codec.go); cmd/nftrace is
+// the command-line surface.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/ioa"
+)
+
+// Kind identifies the type of a trace event.
+type Kind uint8
+
+const (
+	// KindSubmit is the operation sim.Runner.SubmitMsg(payload): a
+	// send_msg action handing one message to the transmitter.
+	KindSubmit Kind = iota + 1
+	// KindTransmit is the operation sim.Runner.StepTransmit(): one
+	// transmitter output step (which may find no enabled output).
+	KindTransmit
+	// KindDrain is the operation sim.Runner.DrainAcks(): drain every
+	// enabled receiver output through the ack channel.
+	KindDrain
+	// KindStale is the operation sim.Runner.DeliverStale(dir, pkt): the
+	// adversary's replay move, delivering one delayed in-transit copy.
+	KindStale
+	// KindSendPkt observes a send_pkt action on channel Dir.
+	KindSendPkt
+	// KindRecvPkt observes a receive_pkt action on channel Dir.
+	KindRecvPkt
+	// KindRecvMsg observes a receive_msg action (delivery to the higher
+	// layer).
+	KindRecvMsg
+	// KindDecision observes a channel policy verdict on the most recent
+	// send on channel Dir. The decision stream is the recorded channel
+	// nondeterminism that replay substitutes for the live policy.
+	KindDecision
+	// KindRNG observes one raw RNG draw (the IEEE-754 bits of a float64),
+	// emitted by RecordingSource for audit of probabilistic policies.
+	KindRNG
+	// KindVerdict records a checker verdict over the completed execution;
+	// by convention it is the final event of a log.
+	KindVerdict
+)
+
+// String returns the kind's wire name.
+func (k Kind) String() string {
+	switch k {
+	case KindSubmit:
+		return "submit"
+	case KindTransmit:
+		return "transmit"
+	case KindDrain:
+		return "drain"
+	case KindStale:
+		return "stale"
+	case KindSendPkt:
+		return "send_pkt"
+	case KindRecvPkt:
+		return "recv_pkt"
+	case KindRecvMsg:
+		return "recv_msg"
+	case KindDecision:
+		return "decision"
+	case KindRNG:
+		return "rng"
+	case KindVerdict:
+		return "verdict"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// IsOp reports whether the kind is a driver operation (re-issued on replay)
+// as opposed to an observation (compared on replay).
+func (k Kind) IsOp() bool {
+	switch k {
+	case KindSubmit, KindTransmit, KindDrain, KindStale:
+		return true
+	}
+	return false
+}
+
+// Decision mirrors channel.Decision without importing internal/channel
+// (channel imports this package for capture wrappers). The numeric values
+// are identical by construction.
+type Decision uint8
+
+const (
+	// DeliverNow delivers the packet immediately.
+	DeliverNow Decision = 1
+	// Delay leaves the packet in transit.
+	Delay Decision = 2
+	// Drop discards the packet permanently.
+	Drop Decision = 3
+)
+
+func (d Decision) String() string {
+	switch d {
+	case DeliverNow:
+		return "deliver"
+	case Delay:
+		return "delay"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("decision(%d)", uint8(d))
+	}
+}
+
+// Event is one record of a trace log. Which fields are meaningful depends
+// on Kind; unused fields are zero and are not encoded on disk.
+type Event struct {
+	Kind Kind `json:"kind"`
+	// Dir is set for SendPkt, RecvPkt, Stale and Decision events.
+	Dir ioa.Dir `json:"dir,omitempty"`
+	// Pkt is set for SendPkt, RecvPkt and Stale events.
+	Pkt ioa.Packet `json:"pkt,omitempty"`
+	// Msg is set for Submit and RecvMsg events.
+	Msg ioa.Message `json:"msg,omitempty"`
+	// Decision is set for Decision events.
+	Decision Decision `json:"decision,omitempty"`
+	// Bits carries the raw draw for RNG events.
+	Bits uint64 `json:"bits,omitempty"`
+	// Property, Index and Detail mirror ioa.Violation for Verdict events.
+	// An empty Property on a Verdict event means "no violation" — the
+	// checkers passed on the recorded execution.
+	Property string `json:"property,omitempty"`
+	Index    int    `json:"index,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// String renders the event for diagnostics.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindSubmit, KindRecvMsg:
+		return fmt.Sprintf("%s(%s)", e.Kind, e.Msg)
+	case KindSendPkt, KindRecvPkt, KindStale:
+		return fmt.Sprintf("%s^%s(%s)", e.Kind, e.Dir, e.Pkt)
+	case KindDecision:
+		return fmt.Sprintf("%s^%s=%s", e.Kind, e.Dir, e.Decision)
+	case KindRNG:
+		return fmt.Sprintf("%s(%#x)", e.Kind, e.Bits)
+	case KindVerdict:
+		if e.Property == "" {
+			return "verdict(ok)"
+		}
+		return fmt.Sprintf("verdict(%s@%d)", e.Property, e.Index)
+	default:
+		return e.Kind.String()
+	}
+}
+
+// Sink consumes trace events. *Log and *Writer implement it, as does
+// SyncSink; producers (sim.Runner, channel.Capture, netlink stations) emit
+// into a Sink without caring where the events land.
+type Sink interface {
+	Emit(Event)
+}
+
+// Meta keys conventionally present in logs written by this repo.
+const (
+	// MetaProtocol names the protocol under test (protocol.Protocol.Name).
+	MetaProtocol = "protocol"
+	// MetaKind distinguishes trace provenance: "sim" for simulator runs
+	// (deterministically replayable), "netlink" for observational socket
+	// sessions, "shrunk" for minimised traces.
+	MetaKind = "kind"
+	// MetaSource is free-form provenance (tool name, attack, workload).
+	MetaSource = "source"
+)
+
+// Log is an in-memory trace: metadata plus the event sequence. It is the
+// Sink used by the simulator, because speculative execution forks need to
+// clone their partial logs (streaming writers cannot rewind).
+type Log struct {
+	Meta   map[string]string `json:"meta,omitempty"`
+	Events []Event           `json:"events"`
+}
+
+// NewLog returns an empty log with the given metadata (which may be nil).
+func NewLog(meta map[string]string) *Log {
+	m := make(map[string]string, len(meta))
+	for k, v := range meta {
+		m[k] = v
+	}
+	return &Log{Meta: m}
+}
+
+// Emit implements Sink.
+func (l *Log) Emit(e Event) { l.Events = append(l.Events, e) }
+
+// Len reports the number of recorded events.
+func (l *Log) Len() int { return len(l.Events) }
+
+// SetMeta sets a metadata key, allocating the map if needed.
+func (l *Log) SetMeta(key, val string) {
+	if l.Meta == nil {
+		l.Meta = make(map[string]string)
+	}
+	l.Meta[key] = val
+}
+
+// Clone returns an independent deep copy of the log.
+func (l *Log) Clone() *Log {
+	c := NewLog(l.Meta)
+	c.Events = make([]Event, len(l.Events))
+	copy(c.Events, l.Events)
+	return c
+}
+
+// Verdict returns the final Verdict event's violation, if the log carries
+// one. ok reports whether a verdict event is present at all; a present
+// verdict with a nil violation means the recorded execution passed the
+// checkers.
+func (l *Log) Verdict() (v *ioa.Violation, ok bool) {
+	for i := len(l.Events) - 1; i >= 0; i-- {
+		e := l.Events[i]
+		if e.Kind != KindVerdict {
+			continue
+		}
+		if e.Property == "" {
+			return nil, true
+		}
+		return &ioa.Violation{Property: e.Property, Index: e.Index, Detail: e.Detail}, true
+	}
+	return nil, false
+}
+
+// IOATrace projects the log's observation events onto an ioa.Trace, so the
+// correctness checkers (PL1, DL1–DL3) can run over a recorded execution
+// without re-driving it. Submit maps to send_msg, RecvMsg to receive_msg,
+// SendPkt/RecvPkt to their physical-layer actions; operations and decisions
+// leave no ioa footprint.
+func (l *Log) IOATrace() ioa.Trace {
+	var tr ioa.Trace
+	for _, e := range l.Events {
+		switch e.Kind {
+		case KindSubmit:
+			tr = append(tr, ioa.Event{Kind: ioa.SendMsg, Msg: e.Msg})
+		case KindRecvMsg:
+			tr = append(tr, ioa.Event{Kind: ioa.ReceiveMsg, Msg: e.Msg})
+		case KindSendPkt:
+			tr = append(tr, ioa.Event{Kind: ioa.SendPkt, Dir: e.Dir, Pkt: e.Pkt})
+		case KindRecvPkt:
+			tr = append(tr, ioa.Event{Kind: ioa.ReceivePkt, Dir: e.Dir, Pkt: e.Pkt})
+		}
+	}
+	return tr
+}
+
+// Decisions extracts the recorded channel-policy decision stream for one
+// direction, in order — the channel nondeterminism that replay substitutes
+// for a live policy.
+func (l *Log) Decisions(d ioa.Dir) []Decision {
+	var out []Decision
+	for _, e := range l.Events {
+		if e.Kind == KindDecision && e.Dir == d {
+			out = append(out, e.Decision)
+		}
+	}
+	return out
+}
+
+// String renders the log one event per line, for diagnostics.
+func (l *Log) String() string {
+	var b strings.Builder
+	for k, v := range l.Meta {
+		fmt.Fprintf(&b, "# %s = %s\n", k, v)
+	}
+	for i, e := range l.Events {
+		fmt.Fprintf(&b, "%4d  %s\n", i, e)
+	}
+	return b.String()
+}
+
+// SyncSink serialises concurrent emissions into one underlying sink. The
+// netlink stations record from independent goroutines; sharing one SyncSink
+// between a sender and a receiver yields a single, totally ordered session
+// log.
+type SyncSink struct {
+	mu    sync.Mutex
+	inner Sink
+}
+
+// NewSyncSink wraps inner with a mutex.
+func NewSyncSink(inner Sink) *SyncSink { return &SyncSink{inner: inner} }
+
+// Emit implements Sink.
+func (s *SyncSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.Emit(e)
+}
+
+// RecordingSource wraps a rand.Source64 so every draw is also emitted as a
+// KindRNG event. Probabilistic channel policies built over a recording
+// source leave an auditable record of the raw randomness behind their
+// decisions (the decisions themselves are what replay consumes).
+type RecordingSource struct {
+	Src interface {
+		Int63() int64
+		Uint64() uint64
+		Seed(int64)
+	}
+	Sink Sink
+}
+
+// Int63 implements rand.Source.
+func (r *RecordingSource) Int63() int64 {
+	v := r.Src.Int63()
+	r.Sink.Emit(Event{Kind: KindRNG, Bits: uint64(v)})
+	return v
+}
+
+// Uint64 implements rand.Source64.
+func (r *RecordingSource) Uint64() uint64 {
+	v := r.Src.Uint64()
+	r.Sink.Emit(Event{Kind: KindRNG, Bits: v})
+	return v
+}
+
+// Seed implements rand.Source.
+func (r *RecordingSource) Seed(seed int64) { r.Src.Seed(seed) }

@@ -13,6 +13,10 @@
 //   - the paper's lower-bound constructions as attack procedures that emit
 //     machine-checkable violation certificates (replay, pumping,
 //     header-budget);
+//   - an execution trace subsystem: record any run as a compact,
+//     self-describing event log, replay it deterministically, and
+//     delta-debug violating logs to minimal counterexamples (see
+//     cmd/nftrace for the command-line pipeline);
 //   - boundness measurement per the paper's Definitions 5 and 6;
 //   - a bounded explicit-state model checker (Explore) that exhausts the
 //     channel nondeterminism within bounds — over the paper's non-FIFO
@@ -47,7 +51,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/ioa"
 	"repro/internal/protocol"
+	"repro/internal/replay"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Model types (see internal/ioa).
@@ -232,6 +238,44 @@ func Pump(r *Runner, budget int) (PumpReport, error) { return adversary.Pump(r, 
 func HeaderBudget(p Protocol, copies, messages int, cfg ReplayConfig) (HeaderBudgetReport, error) {
 	return adversary.HeaderBudget(p, copies, messages, cfg)
 }
+
+// Execution traces: record, deterministic replay, shrinking (see
+// internal/trace and internal/replay). Set Config.TraceLog to record a run;
+// Replay re-drives a recorded log bit for bit and re-checks it; Shrink
+// minimizes a violating log while preserving the violated property.
+type (
+	// TraceLog is a recorded execution event log.
+	TraceLog = trace.Log
+	// TraceEvent is one recorded event.
+	TraceEvent = trace.Event
+	// TraceStats is a summary of a trace log.
+	TraceStats = trace.Stats
+	// ReplayResult is the outcome of replaying a recorded log.
+	ReplayResult = replay.Result
+	// ShrinkResult is the outcome of minimizing a violating log.
+	ShrinkResult = replay.ShrinkResult
+)
+
+// NewTraceLog returns an empty trace log ready for Config.TraceLog.
+func NewTraceLog() *TraceLog { return trace.NewLog(nil) }
+
+// Replay re-drives a recorded simulation log deterministically and
+// re-checks the paper's properties on the replayed execution.
+func Replay(l *TraceLog) (*ReplayResult, error) { return replay.Run(l) }
+
+// Shrink delta-debugs a violating log to a minimal counterexample that
+// still violates the same property when replayed.
+func Shrink(l *TraceLog) (*ShrinkResult, error) { return replay.Shrink(l) }
+
+// TraceStatsOf summarizes a trace log.
+func TraceStatsOf(l *TraceLog) TraceStats { return trace.Collect(l) }
+
+// WriteTraceFile and ReadTraceFile store logs in the NFT trace format
+// (see cmd/nftrace for the command-line pipeline).
+var (
+	WriteTraceFile = trace.WriteFile
+	ReadTraceFile  = trace.ReadFile
+)
 
 // Boundness measurement (the paper's Definitions 5 and 6).
 type (
