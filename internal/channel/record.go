@@ -50,6 +50,17 @@ func FromDecisions(decisions []trace.Decision, fallback Decision, exhausted *boo
 	})
 }
 
+// Counting wraps pol so that *n is incremented on every OnSend consultation.
+// The fuzzer uses it to learn how many decisions an execution actually
+// consumed on each channel, so mutated decision streams can be trimmed to
+// their live prefix before they enter the corpus.
+func Counting(pol Policy, n *int) Policy {
+	return PolicyFunc(func(p ioa.Packet) Decision {
+		*n++
+		return pol.OnSend(p)
+	})
+}
+
 // RecordedProbabilistic is Probabilistic with every raw RNG draw logged to
 // sink as a trace RNG event, for audit of the randomness behind the
 // recorded decisions. (Replay consumes the captured decisions, not the

@@ -1,0 +1,92 @@
+package fuzz
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Corpus management: the retained input set and its on-disk form.
+//
+// The in-memory corpus is an append-only slice owned by the merger
+// goroutine; workers see it through immutable snapshots. On disk a corpus is
+// a directory of NFZI files named by content hash, so saving is idempotent,
+// resuming is re-reading the directory, and two runs can share a corpus
+// without coordination.
+
+// Entry is one retained corpus input with its discovery bookkeeping.
+type Entry struct {
+	Input *Input
+	// NewPoints is the number of coverage points this entry contributed
+	// when it was admitted (its "energy" for parent selection).
+	NewPoints int
+}
+
+// inputID is the content hash used as the corpus filename stem.
+func inputID(in *Input) string {
+	h := fnv.New64a()
+	_, _ = h.Write(in.Encode())
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// SaveCorpus writes every input to dir as <hash>.nfzi, creating dir if
+// needed. Existing files are left alone (content-addressed names make
+// rewrites no-ops).
+func SaveCorpus(dir string, inputs []*Input) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("fuzz: corpus dir: %w", err)
+	}
+	for _, in := range inputs {
+		path := filepath.Join(dir, inputID(in)+".nfzi")
+		if _, err := os.Stat(path); err == nil {
+			continue
+		}
+		if err := os.WriteFile(path, in.Encode(), 0o644); err != nil {
+			return fmt.Errorf("fuzz: save corpus entry: %w", err)
+		}
+	}
+	return nil
+}
+
+// saveEntry persists one input to dir (no-op if dir is empty).
+func saveEntry(dir string, in *Input) error {
+	if dir == "" {
+		return nil
+	}
+	return SaveCorpus(dir, []*Input{in})
+}
+
+// LoadCorpus reads every *.nfzi file in dir, in deterministic (sorted-name)
+// order. A missing directory is an empty corpus; an undecodable file is an
+// error (a corpus dir is machine-written — corruption should be loud).
+func LoadCorpus(dir string) ([]*Input, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: read corpus dir: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".nfzi" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	inputs := make([]*Input, 0, len(names))
+	for _, name := range names {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: read corpus entry: %w", err)
+		}
+		in, err := Decode(b)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: corpus entry %s: %w", name, err)
+		}
+		inputs = append(inputs, in)
+	}
+	return inputs, nil
+}

@@ -1,0 +1,362 @@
+package fuzz
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/protocol"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// Config describes one fuzzing campaign.
+type Config struct {
+	// Protocol is the protocol under test.
+	Protocol protocol.Protocol
+	// Workers is the parallel executor count. 1 (the default) runs the
+	// fully deterministic serial loop; >1 runs the worker pool, which is
+	// deterministic per worker stream but merges results in arrival order.
+	Workers int
+	// Budget is the total number of input executions across all workers.
+	// Defaults to 50000.
+	Budget int64
+	// Seed is the campaign's root seed; per-worker RNGs are derived with
+	// core.SplitSeed(Seed, "fuzz-worker-<i>").
+	Seed int64
+	// CorpusDir, when non-empty, persists the corpus: existing entries are
+	// loaded before fuzzing (resume) and every admitted input is saved.
+	CorpusDir string
+	// OutDir, when non-empty, receives the shrunk violation certificates as
+	// <protocol>-<property>.nft files.
+	OutDir string
+	// StopOnViolation stops the campaign as soon as the first violation has
+	// been promoted.
+	StopOnViolation bool
+	// Stats, when non-nil, receives a progress line every StatsEvery
+	// (default 1s).
+	Stats      io.Writer
+	StatsEvery time.Duration
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Protocol == nil {
+		return c, fmt.Errorf("fuzz: config needs a protocol")
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Budget <= 0 {
+		c.Budget = 50000
+	}
+	if c.StatsEvery <= 0 {
+		c.StatsEvery = time.Second
+	}
+	return c, nil
+}
+
+// Violation is one promoted finding: a shrunk, re-recorded, replayable
+// counterexample.
+type Violation struct {
+	// Property is the violated property ("PL1", "DL1", "DL2").
+	Property string
+	// Cert is the minimized certificate trace (replay.Shrink output).
+	Cert *trace.Log
+	// Ops is the certificate's driver-operation count after shrinking.
+	Ops int
+	// FoundAtExec is the execution count at discovery.
+	FoundAtExec int64
+	// Path is the written certificate file ("" when Config.OutDir unset).
+	Path string
+}
+
+// Result summarizes a campaign.
+type Result struct {
+	// Execs is the number of input executions performed.
+	Execs int64
+	// CorpusSize is the number of retained inputs.
+	CorpusSize int
+	// CoveragePoints is the size of the joint-state coverage set.
+	CoveragePoints int
+	// Violations holds the promoted findings, one per property (the
+	// smallest certificate wins), sorted by property.
+	Violations []*Violation
+	// DL3Misses counts executions that stranded submitted messages
+	// (quiescent-DL3 failures). Almost every partial schedule does; the
+	// count is reported for context, not certified — see DESIGN.md §8.
+	DL3Misses int64
+	// Elapsed is the campaign wall-clock time.
+	Elapsed time.Duration
+}
+
+// campaign is the merger-side state shared by the serial and parallel paths.
+type campaign struct {
+	cfg    Config
+	master coverSet
+	corpus []*Entry
+	wins   map[string]*Violation // property → smallest certificate
+
+	execs     atomic.Int64
+	dl3Misses atomic.Int64
+	stop      atomic.Bool
+
+	start     time.Time
+	lastStats time.Time
+}
+
+// Run executes one fuzzing campaign.
+func Run(cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	c := &campaign{
+		cfg:    cfg,
+		master: make(coverSet),
+		wins:   make(map[string]*Violation),
+		start:  time.Now(),
+	}
+
+	// Seed the corpus: canonical starting schedules plus any persisted
+	// entries from a previous run. Every initial input is executed (and
+	// counted against the budget) so resumed campaigns rebuild the exact
+	// coverage frontier they left off at.
+	initial := SeedInputs()
+	if cfg.CorpusDir != "" {
+		loaded, err := LoadCorpus(cfg.CorpusDir)
+		if err != nil {
+			return nil, err
+		}
+		initial = append(initial, loaded...)
+	}
+	for _, in := range initial {
+		if c.execs.Load() >= cfg.Budget {
+			break
+		}
+		res := Execute(cfg.Protocol, in, false)
+		c.execs.Add(1)
+		c.observe(in, res)
+		if c.stop.Load() {
+			break
+		}
+	}
+
+	if !c.stop.Load() && c.execs.Load() < cfg.Budget {
+		if cfg.Workers == 1 {
+			c.serial()
+		} else {
+			c.parallel()
+		}
+	}
+	return c.result(), nil
+}
+
+// observe merges one execution into the campaign: coverage admission and
+// violation promotion. Serial path and merger goroutine both funnel through
+// it; in the parallel path it runs only on the merger goroutine.
+func (c *campaign) observe(in *Input, res *ExecResult) {
+	if res.DL3 != nil {
+		c.dl3Misses.Add(1)
+	}
+	if res.Verdict != nil {
+		c.promote(in, res)
+	}
+	if fresh := c.master.addAll(res.Points); fresh > 0 {
+		kept := Trim(in, res)
+		c.corpus = append(c.corpus, &Entry{Input: kept, NewPoints: fresh})
+		if err := saveEntry(c.cfg.CorpusDir, kept); err != nil {
+			fmt.Fprintf(os.Stderr, "fuzz: %v\n", err)
+		}
+	}
+	c.maybeStats()
+}
+
+// promote turns a violating input into a first-class certificate: re-execute
+// with trace recording, shrink with the delta-debugging shrinker, keep the
+// smallest certificate per property, and write it out.
+func (c *campaign) promote(in *Input, res *ExecResult) {
+	logged := Execute(c.cfg.Protocol, in, true)
+	if logged.Verdict == nil {
+		// Unreachable: execution is deterministic.
+		return
+	}
+	sr, err := replay.Shrink(logged.Log)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fuzz: shrinking %s violation: %v\n", res.Verdict.Property, err)
+		return
+	}
+	v := &Violation{
+		Property:    sr.Property,
+		Cert:        sr.Log,
+		Ops:         sr.FinalOps,
+		FoundAtExec: c.execs.Load(),
+	}
+	if old, ok := c.wins[v.Property]; ok && old.Ops <= v.Ops {
+		if c.cfg.StopOnViolation {
+			c.stop.Store(true)
+		}
+		return
+	}
+	if c.cfg.OutDir != "" {
+		if err := os.MkdirAll(c.cfg.OutDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "fuzz: out dir: %v\n", err)
+		} else {
+			v.Path = filepath.Join(c.cfg.OutDir, c.cfg.Protocol.Name()+"-"+v.Property+".nft")
+			if err := trace.WriteFile(v.Path, v.Cert); err != nil {
+				fmt.Fprintf(os.Stderr, "fuzz: write certificate: %v\n", err)
+				v.Path = ""
+			}
+		}
+	}
+	c.wins[v.Property] = v
+	if c.cfg.Stats != nil {
+		fmt.Fprintf(c.cfg.Stats, "VIOLATION %s after %d execs: %d ops after shrink%s\n",
+			v.Property, v.FoundAtExec, v.Ops, pathNote(v.Path))
+	}
+	if c.cfg.StopOnViolation {
+		c.stop.Store(true)
+	}
+}
+
+func pathNote(p string) string {
+	if p == "" {
+		return ""
+	}
+	return " -> " + p
+}
+
+// pickParent selects a mutation parent: mostly uniform over the corpus, with
+// a bias toward the newest entries (the current frontier).
+func pickParent(corpus []*Entry, rng *rand.Rand) *Input {
+	if len(corpus) == 0 {
+		return SeedInputs()[0]
+	}
+	if rng.Intn(2) == 0 && len(corpus) > 16 {
+		return corpus[len(corpus)-1-rng.Intn(16)].Input
+	}
+	return corpus[rng.Intn(len(corpus))].Input
+}
+
+// nextCandidate derives one candidate input from the corpus snapshot.
+func nextCandidate(corpus []*Entry, rng *rand.Rand) *Input {
+	parent := pickParent(corpus, rng)
+	if len(corpus) >= 2 && rng.Intn(10) == 0 {
+		other := pickParent(corpus, rng)
+		return Mutate(Crossover(parent, other, rng), rng)
+	}
+	return Mutate(parent, rng)
+}
+
+// serial is the deterministic single-worker loop.
+func (c *campaign) serial() {
+	rng := rand.New(rand.NewSource(core.SplitSeed(c.cfg.Seed, "fuzz-worker-0")))
+	for c.execs.Load() < c.cfg.Budget && !c.stop.Load() {
+		cand := nextCandidate(c.corpus, rng)
+		res := Execute(c.cfg.Protocol, cand, false)
+		c.execs.Add(1)
+		c.observe(cand, res)
+	}
+}
+
+// workerResult is what a worker ships to the merger: the candidate and its
+// phenotype. Workers pre-filter against a private coverage set, so most
+// executions never produce a message.
+type workerResult struct {
+	in  *Input
+	res *ExecResult
+}
+
+// parallel runs the worker pool: Workers executor goroutines, one corpus
+// merger. Workers pull corpus snapshots from an atomic pointer, push
+// coverage-adding or violating results to the merger, and the merger — the
+// only goroutine that touches the master coverage set, the corpus and the
+// winners — admits, promotes and republishes.
+func (c *campaign) parallel() {
+	type snapshot struct{ corpus []*Entry }
+	var snap atomic.Pointer[snapshot]
+	snap.Store(&snapshot{corpus: c.corpus})
+
+	results := make(chan workerResult, 4*c.cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < c.cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(core.SplitSeed(c.cfg.Seed, "fuzz-worker-"+strconv.Itoa(id))))
+			local := make(coverSet)
+			for !c.stop.Load() {
+				if c.execs.Add(1) > c.cfg.Budget {
+					c.execs.Add(-1)
+					return
+				}
+				cand := nextCandidate(snap.Load().corpus, rng)
+				res := Execute(c.cfg.Protocol, cand, false)
+				if res.DL3 != nil {
+					c.dl3Misses.Add(1)
+				}
+				// Ship only results that matter: a violation, or coverage new
+				// to this worker's view (a superset check of "new globally").
+				if res.Verdict != nil || local.addAll(res.Points) > 0 {
+					results <- workerResult{in: cand, res: res}
+				}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	for wr := range results {
+		before := len(c.corpus)
+		// DL3 was already counted worker-side; zero it so observe does not
+		// double-count.
+		wr.res.DL3 = nil
+		c.observe(wr.in, wr.res)
+		if len(c.corpus) != before {
+			snap.Store(&snapshot{corpus: c.corpus})
+		}
+	}
+}
+
+func (c *campaign) maybeStats() {
+	if c.cfg.Stats == nil {
+		return
+	}
+	now := time.Now()
+	if now.Sub(c.lastStats) < c.cfg.StatsEvery {
+		return
+	}
+	c.lastStats = now
+	execs := c.execs.Load()
+	elapsed := now.Sub(c.start).Seconds()
+	rate := float64(execs)
+	if elapsed > 0 {
+		rate = float64(execs) / elapsed
+	}
+	fmt.Fprintf(c.cfg.Stats, "execs %d (%.0f/sec) corpus %d coverage %d violations %d\n",
+		execs, rate, len(c.corpus), len(c.master), len(c.wins))
+}
+
+func (c *campaign) result() *Result {
+	r := &Result{
+		Execs:          c.execs.Load(),
+		CorpusSize:     len(c.corpus),
+		CoveragePoints: len(c.master),
+		DL3Misses:      c.dl3Misses.Load(),
+		Elapsed:        time.Since(c.start),
+	}
+	for _, v := range c.wins {
+		r.Violations = append(r.Violations, v)
+	}
+	sort.Slice(r.Violations, func(i, j int) bool { return r.Violations[i].Property < r.Violations[j].Property })
+	return r
+}

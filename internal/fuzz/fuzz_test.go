@@ -1,0 +1,247 @@
+package fuzz
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/protocol"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+func TestInputCodecRoundTrip(t *testing.T) {
+	in := &Input{
+		Ops: []Op{
+			{Kind: OpSubmit},
+			{Kind: OpTransmit},
+			{Kind: OpStale, Dir: ioa.TtoR, Pick: 3},
+			{Kind: OpDrain},
+			{Kind: OpStale, Dir: ioa.RtoT, Pick: 250},
+		},
+		Data: []trace.Decision{trace.Delay, trace.DeliverNow, trace.Drop},
+		Ack:  []trace.Decision{trace.DeliverNow},
+	}
+	out, err := Decode(in.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !bytes.Equal(out.Encode(), in.Encode()) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("NFZ"),
+		[]byte("XXXX\x01\x00\x00\x00"),
+		[]byte("NFZI\x02\x00\x00\x00"),                 // bad version
+		[]byte("NFZI\x01\x01\x09\x00\x00\x00\x00\x00"), // unknown op kind
+		[]byte("NFZI\x01\x01\x01\x00\x00\x00\x07\x00"), // bad decision
+		append((&Input{Ops: []Op{{Kind: OpSubmit}}}).Encode(), 0xff), // trailing
+	}
+	for i, b := range cases {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("case %d: Decode accepted garbage %q", i, b)
+		}
+	}
+}
+
+func TestExecuteDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := SeedInputs()[2]
+	for i := 0; i < 20; i++ {
+		in = Mutate(in, rng)
+	}
+	a := Execute(protocol.NewAltBit(), in, false)
+	b := Execute(protocol.NewAltBit(), in, false)
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("nondeterministic execution: %d vs %d points", len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("nondeterministic coverage at %d", i)
+		}
+	}
+}
+
+func TestTrimPreservesExecution(t *testing.T) {
+	in := SeedInputs()[0]
+	res := Execute(protocol.NewAltBit(), in, false)
+	trimmed := Trim(in, res)
+	if len(trimmed.Data) > len(in.Data) || len(trimmed.Ack) > len(in.Ack) {
+		t.Fatalf("trim grew the input")
+	}
+	res2 := Execute(protocol.NewAltBit(), trimmed, false)
+	if len(res.Points) != len(res2.Points) {
+		t.Fatalf("trim changed the execution: %d vs %d points", len(res.Points), len(res2.Points))
+	}
+	for i := range res.Points {
+		if res.Points[i] != res2.Points[i] {
+			t.Fatalf("trim changed coverage at %d", i)
+		}
+	}
+}
+
+func TestMutateNeverExceedsCaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	in := SeedInputs()[0]
+	for i := 0; i < 2000; i++ {
+		in = Mutate(in, rng)
+		if len(in.Ops) > MaxOps || len(in.Data) > MaxDecisions || len(in.Ack) > MaxDecisions {
+			t.Fatalf("iteration %d: mutation exceeded caps: %s", i, in)
+		}
+		if len(in.Ops) == 0 {
+			t.Fatalf("iteration %d: mutation produced empty schedule", i)
+		}
+		if _, err := Decode(in.Encode()); err != nil {
+			t.Fatalf("iteration %d: mutated input not decodable: %v", i, err)
+		}
+	}
+}
+
+// runCampaign is the shared harness for discovery tests: fuzz proto with a
+// deterministic serial campaign and require a shrunk certificate for prop
+// that replays to the same verdict with zero divergence.
+func runCampaign(t *testing.T, proto protocol.Protocol, prop string, budget int64) *Result {
+	t.Helper()
+	out := t.TempDir()
+	res, err := Run(Config{
+		Protocol:        proto,
+		Workers:         1,
+		Budget:          budget,
+		Seed:            1,
+		OutDir:          out,
+		StopOnViolation: true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var v *Violation
+	for _, got := range res.Violations {
+		if got.Property == prop {
+			v = got
+		}
+	}
+	if v == nil {
+		t.Fatalf("no %s violation found for %s in %d execs (violations: %v)",
+			prop, proto.Name(), res.Execs, res.Violations)
+	}
+	if v.Path == "" {
+		t.Fatalf("violation has no certificate file")
+	}
+	l, err := trace.ReadFile(v.Path)
+	if err != nil {
+		t.Fatalf("reading certificate: %v", err)
+	}
+	rr, err := replay.Run(l)
+	if err != nil {
+		t.Fatalf("replaying certificate: %v", err)
+	}
+	if rr.Verdict == nil || rr.Verdict.Property != prop {
+		t.Fatalf("certificate replays to verdict %v, want %s", rr.Verdict, prop)
+	}
+	if rr.Divergence != nil {
+		t.Fatalf("certificate replay diverged: %v", rr.Divergence)
+	}
+	if !rr.VerdictMatches {
+		t.Fatalf("replayed verdict does not match recorded verdict %v", rr.RecordedVerdict)
+	}
+	return res
+}
+
+// TestFindsAltbitDL1 is the headline acceptance test: the fuzzer must
+// rediscover the paper's E0 attack — the alternating bit protocol is unsafe
+// over non-FIFO channels — from generic seeds, within a CI-sized budget.
+func TestFindsAltbitDL1(t *testing.T) {
+	res := runCampaign(t, protocol.NewAltBit(), "DL1", 30000)
+	t.Logf("altbit DL1 found after %d execs, corpus %d, coverage %d",
+		res.Execs, res.CorpusSize, res.CoveragePoints)
+}
+
+// TestFindsCheat1DL1 rediscovers the Theorem 4.1 mechanism: the counting
+// protocol with its acceptance threshold under-provisioned by one copy
+// (cheat1) is unsafe.
+func TestFindsCheat1DL1(t *testing.T) {
+	res := runCampaign(t, protocol.NewCheat(1), "DL1", 60000)
+	t.Logf("cheat1 DL1 found after %d execs, corpus %d, coverage %d",
+		res.Execs, res.CorpusSize, res.CoveragePoints)
+}
+
+// TestSeedsAreBenign pins the "from scratch" claim of the discovery tests:
+// no seed input may already violate safety on any registry protocol. The
+// attack composition (strand a copy, then re-deliver it late) must come out
+// of the mutation search, not out of the initial corpus.
+func TestSeedsAreBenign(t *testing.T) {
+	for name, proto := range protocol.Registry() {
+		for i, in := range SeedInputs() {
+			if res := Execute(proto, in, false); res.Verdict != nil {
+				t.Errorf("seed %d violates %s on %s", i, res.Verdict.Property, name)
+			}
+		}
+	}
+}
+
+// TestSafeProtocolFindsNothing fuzzes the sound counting protocol briefly
+// and requires zero violations — the fuzzer must not produce false alarms.
+func TestSafeProtocolFindsNothing(t *testing.T) {
+	res, err := Run(Config{Protocol: protocol.NewCntLinear(), Workers: 1, Budget: 3000, Seed: 5})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("fuzzer reported violations on the sound protocol: %v", res.Violations)
+	}
+}
+
+// TestParallelFindsViolation exercises the worker pool end to end; with the
+// shallow altbit target and a generous budget the pool must converge
+// regardless of merge order.
+func TestParallelFindsViolation(t *testing.T) {
+	out := t.TempDir()
+	res, err := Run(Config{
+		Protocol:        protocol.NewAltBit(),
+		Workers:         4,
+		Budget:          200000,
+		Seed:            3,
+		OutDir:          out,
+		StopOnViolation: true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatalf("parallel campaign found nothing in %d execs", res.Execs)
+	}
+}
+
+func TestCorpusSaveLoadResume(t *testing.T) {
+	dir := t.TempDir()
+	corpus := filepath.Join(dir, "corpus")
+	first, err := Run(Config{Protocol: protocol.NewAltBit(), Workers: 1, Budget: 2000, Seed: 2, CorpusDir: corpus})
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if first.CorpusSize == 0 {
+		t.Fatalf("first run admitted nothing")
+	}
+	loaded, err := LoadCorpus(corpus)
+	if err != nil {
+		t.Fatalf("LoadCorpus: %v", err)
+	}
+	if len(loaded) == 0 {
+		t.Fatalf("no corpus entries persisted")
+	}
+	// Resume: the saved corpus must decode and re-execute; coverage after
+	// replaying the saved entries alone must be substantial.
+	second, err := Run(Config{Protocol: protocol.NewAltBit(), Workers: 1, Budget: int64(len(loaded)) + 3, Seed: 2, CorpusDir: corpus})
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if second.CoveragePoints < first.CoveragePoints/2 {
+		t.Fatalf("resume rebuilt only %d of %d coverage points", second.CoveragePoints, first.CoveragePoints)
+	}
+}

@@ -1,0 +1,205 @@
+package fuzz
+
+import (
+	"math/rand"
+
+	"repro/internal/ioa"
+	"repro/internal/trace"
+)
+
+// Mutation operators. Each takes a parent genotype and a worker-local RNG
+// and returns a fresh candidate; parents are never modified in place (they
+// are shared across workers through corpus snapshots).
+//
+// The operator set mirrors the structure of the search space:
+//
+//   - decision flips explore the channel behaviour lattice
+//     (deliver/delay/drop per send);
+//   - op insertion/removal/truncation/extension explore the schedule;
+//   - stale splicing is the paper's replay move — it is its own operator
+//     because almost every interesting violation needs one;
+//   - crossover recombines two corpus entries, which is how a "strand
+//     copies" prefix from one input meets a "re-deliver late" suffix from
+//     another.
+
+var decisions = [...]trace.Decision{trace.DeliverNow, trace.Delay, trace.Drop}
+
+func randDecision(rng *rand.Rand) trace.Decision { return decisions[rng.Intn(len(decisions))] }
+
+func randOp(rng *rand.Rand) Op {
+	switch rng.Intn(10) {
+	case 0, 1:
+		return Op{Kind: OpSubmit}
+	case 2, 3, 4:
+		return Op{Kind: OpTransmit}
+	case 5, 6:
+		return Op{Kind: OpDrain}
+	default:
+		return randStale(rng)
+	}
+}
+
+func randStale(rng *rand.Rand) Op {
+	dir := ioa.TtoR
+	if rng.Intn(4) == 0 { // stale acks matter less often; bias toward data
+		dir = ioa.RtoT
+	}
+	return Op{Kind: OpStale, Dir: dir, Pick: uint8(rng.Intn(8))}
+}
+
+// capOps enforces MaxOps/MaxDecisions after growth operators.
+func capInput(in *Input) *Input {
+	if len(in.Ops) > MaxOps {
+		in.Ops = in.Ops[:MaxOps]
+	}
+	if len(in.Data) > MaxDecisions {
+		in.Data = in.Data[:MaxDecisions]
+	}
+	if len(in.Ack) > MaxDecisions {
+		in.Ack = in.Ack[:MaxDecisions]
+	}
+	return in
+}
+
+// Mutate derives a candidate from parent by applying 1–3 randomly chosen
+// operators.
+func Mutate(parent *Input, rng *rand.Rand) *Input {
+	c := parent.Clone()
+	for n := 1 + rng.Intn(3); n > 0; n-- {
+		c = mutateOnce(c, rng)
+	}
+	if len(c.Ops) == 0 {
+		c.Ops = append(c.Ops, Op{Kind: OpSubmit}, Op{Kind: OpTransmit})
+	}
+	return capInput(c)
+}
+
+func mutateOnce(c *Input, rng *rand.Rand) *Input {
+	switch rng.Intn(8) {
+	case 0: // flip one decision
+		flipDecision(c, rng)
+	case 1: // insert a random op
+		i := rng.Intn(len(c.Ops) + 1)
+		c.Ops = append(c.Ops[:i], append([]Op{randOp(rng)}, c.Ops[i:]...)...)
+	case 2: // remove one op
+		if len(c.Ops) > 0 {
+			i := rng.Intn(len(c.Ops))
+			c.Ops = append(c.Ops[:i], c.Ops[i+1:]...)
+		}
+	case 3: // splice a stale re-delivery
+		i := rng.Intn(len(c.Ops) + 1)
+		c.Ops = append(c.Ops[:i], append([]Op{randStale(rng)}, c.Ops[i:]...)...)
+	case 4: // truncate the schedule tail
+		if len(c.Ops) > 1 {
+			c.Ops = c.Ops[:1+rng.Intn(len(c.Ops)-1)]
+		}
+	case 5: // extend with a random block
+		for n := 1 + rng.Intn(6); n > 0; n-- {
+			c.Ops = append(c.Ops, randOp(rng))
+		}
+	case 6: // extend a decision stream
+		for n := 1 + rng.Intn(4); n > 0; n-- {
+			if rng.Intn(2) == 0 {
+				c.Data = append(c.Data, randDecision(rng))
+			} else {
+				c.Ack = append(c.Ack, randDecision(rng))
+			}
+		}
+	case 7: // duplicate a schedule segment (pumping-style repetition)
+		if len(c.Ops) > 0 {
+			i := rng.Intn(len(c.Ops))
+			j := i + 1 + rng.Intn(len(c.Ops)-i)
+			seg := append([]Op(nil), c.Ops[i:j]...)
+			c.Ops = append(c.Ops[:j], append(seg, c.Ops[j:]...)...)
+		}
+	}
+	return c
+}
+
+func flipDecision(c *Input, rng *rand.Rand) {
+	// Pick uniformly across both streams; grow an empty one instead.
+	total := len(c.Data) + len(c.Ack)
+	if total == 0 {
+		c.Data = append(c.Data, randDecision(rng))
+		return
+	}
+	i := rng.Intn(total)
+	if i < len(c.Data) {
+		c.Data[i] = randDecision(rng)
+	} else {
+		c.Ack[i-len(c.Data)] = randDecision(rng)
+	}
+}
+
+// Crossover splices a prefix of a onto a suffix of b, recombining both
+// schedules and both decision streams at independent cut points.
+func Crossover(a, b *Input, rng *rand.Rand) *Input {
+	cut := func(x, y []Op) []Op {
+		i, j := 0, 0
+		if len(x) > 0 {
+			i = rng.Intn(len(x) + 1)
+		}
+		if len(y) > 0 {
+			j = rng.Intn(len(y) + 1)
+		}
+		out := make([]Op, 0, i+len(y)-j)
+		out = append(out, x[:i]...)
+		return append(out, y[j:]...)
+	}
+	cutD := func(x, y []trace.Decision) []trace.Decision {
+		i, j := 0, 0
+		if len(x) > 0 {
+			i = rng.Intn(len(x) + 1)
+		}
+		if len(y) > 0 {
+			j = rng.Intn(len(y) + 1)
+		}
+		out := make([]trace.Decision, 0, i+len(y)-j)
+		out = append(out, x[:i]...)
+		return append(out, y[j:]...)
+	}
+	c := &Input{Ops: cut(a.Ops, b.Ops), Data: cutD(a.Data, b.Data), Ack: cutD(a.Ack, b.Ack)}
+	if len(c.Ops) == 0 {
+		c.Ops = append(c.Ops, Op{Kind: OpSubmit}, Op{Kind: OpTransmit})
+	}
+	return capInput(c)
+}
+
+// SeedInputs returns the initial corpus for any protocol: a handful of plain
+// schedules (submit/transmit/drain cycles under all-deliver, all-delay and
+// mixed decisions) that exercise the happy path and strand some copies. The
+// fuzzer's job is to take it from there; nothing protocol-specific is baked
+// in.
+func SeedInputs() []*Input {
+	cycle := func(msgs, steps int) []Op {
+		var ops []Op
+		for m := 0; m < msgs; m++ {
+			ops = append(ops, Op{Kind: OpSubmit})
+			for s := 0; s < steps; s++ {
+				ops = append(ops, Op{Kind: OpTransmit}, Op{Kind: OpDrain})
+			}
+		}
+		return ops
+	}
+	rep := func(d trace.Decision, n int) []trace.Decision {
+		s := make([]trace.Decision, n)
+		for i := range s {
+			s[i] = d
+		}
+		return s
+	}
+	return []*Input{
+		// Reliable delivery, three messages: the baseline joint-state orbit.
+		{Ops: cycle(3, 2), Data: rep(trace.DeliverNow, 8), Ack: rep(trace.DeliverNow, 8)},
+		// Delay everything: pure in-transit accumulation.
+		{Ops: cycle(2, 3), Data: rep(trace.Delay, 8), Ack: rep(trace.Delay, 8)},
+		// Delay the first data copy then deliver the rest: progress with one
+		// copy stranded. No stale re-delivery — composing a strand with a
+		// later re-delivery is exactly what the fuzzer must discover.
+		{
+			Ops:  cycle(2, 2),
+			Data: append([]trace.Decision{trace.Delay}, rep(trace.DeliverNow, 7)...),
+			Ack:  rep(trace.DeliverNow, 8),
+		},
+	}
+}

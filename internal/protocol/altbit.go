@@ -89,7 +89,8 @@ func (t *altBitT) Clone() Transmitter {
 }
 
 func (t *altBitT) StateKey() string {
-	return keyf("altbitT{bit=%d busy=%t payload=%q q=%s}", t.bit, t.busy, t.payload, joinQueue(t.queue))
+	return key("altbitT{bit=").d(t.bit).s(" busy=").t(t.busy).
+		s(" payload=").q(t.payload).s(" q=").queue(t.queue).s("}").done()
 }
 
 func (t *altBitT) StateSize() int {
@@ -153,7 +154,8 @@ func (r *altBitR) Clone() Receiver {
 }
 
 func (r *altBitR) StateKey() string {
-	return keyf("altbitR{expect=%d pendAcks=%d pendDeliv=%d}", r.expect, len(r.acks), len(r.delivered))
+	return key("altbitR{expect=").d(r.expect).s(" pendAcks=").d(len(r.acks)).
+		s(" pendDeliv=").d(len(r.delivered)).s("}").done()
 }
 
 func (r *altBitR) StateSize() int {

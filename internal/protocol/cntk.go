@@ -141,8 +141,9 @@ func (t *cntkT) Clone() Transmitter {
 }
 
 func (t *cntkT) StateKey() string {
-	return keyf("cntk%dT{phase=%d busy=%t payload=%q stale=%d fresh=%d q=%s}",
-		t.k, t.phase, t.busy, t.payload, t.ackStale, t.ackFresh, joinQueue(t.queue))
+	return key("cntk").d(t.k).s("T{phase=").d(t.phase).s(" busy=").t(t.busy).
+		s(" payload=").q(t.payload).s(" stale=").d(t.ackStale).s(" fresh=").d(t.ackFresh).
+		s(" q=").queue(t.queue).s("}").done()
 }
 
 func (t *cntkT) StateSize() int {
@@ -237,12 +238,12 @@ func (r *cntkR) StateKey() string {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	fresh := ""
+	b := key("cntk").d(r.k).s("R{accepted=").d(r.accepted).s(" last=").d(r.lastAccepted).
+		s(" stale=").d(r.staleSnap).s(" fresh=")
 	for _, k := range keys {
-		fresh += k + "=" + strconv.Itoa(r.fresh[k]) + ";"
+		b.s(k).s("=").d(r.fresh[k]).s(";")
 	}
-	return keyf("cntk%dR{accepted=%d last=%d stale=%d fresh=%s pendAcks=%d}",
-		r.k, r.accepted, r.lastAccepted, r.staleSnap, fresh, len(r.acks))
+	return b.s(" pendAcks=").d(len(r.acks)).s("}").done()
 }
 
 func (r *cntkR) StateSize() int {

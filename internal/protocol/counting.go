@@ -250,8 +250,9 @@ func (t *countingT) Clone() Transmitter {
 }
 
 func (t *countingT) StateKey() string {
-	return keyf("%sT{bit=%d busy=%t payload=%q stale=%d fresh=%d ever=%v q=%s}",
-		t.mode, t.bit, t.busy, t.payload, t.ackStale, t.ackFresh, t.ackEver, joinQueue(t.queue))
+	return key(t.mode.String()).s("T{bit=").d(t.bit).s(" busy=").t(t.busy).
+		s(" payload=").q(t.payload).s(" stale=").d(t.ackStale).s(" fresh=").d(t.ackFresh).
+		s(" ever=").pair(t.ackEver).s(" q=").queue(t.queue).s("}").done()
 }
 
 // StateSize counts the counter words the automaton must record; the
@@ -393,12 +394,12 @@ func (r *countingR) StateKey() string {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	fresh := ""
+	b := key(r.mode.String()).s("R{expect=").d(r.expect).s(" last=").d(r.lastAccepted).
+		s(" stale=").d(r.staleSnap).s(" fresh=")
 	for _, k := range keys {
-		fresh += k + "=" + strconv.Itoa(r.fresh[k]) + ";"
+		b.s(k).s("=").d(r.fresh[k]).s(";")
 	}
-	return keyf("%sR{expect=%d last=%d stale=%d fresh=%s ever=%v pendAcks=%d}",
-		r.mode, r.expect, r.lastAccepted, r.staleSnap, fresh, r.recvEver, len(r.acks))
+	return b.s(" ever=").pair(r.recvEver).s(" pendAcks=").d(len(r.acks)).s("}").done()
 }
 
 // StateSize counts the counter words recorded by the receiver; as for the

@@ -1,0 +1,52 @@
+package protocol
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestKeyBufMatchesFmt pins the append-based key builder to the fmt verbs it
+// replaced. State keys are hashed into the fuzzer's coverage points and
+// memoized by the adversary constructions, so the rendering must stay
+// canonical; this is the oracle that keyBuf and %d/%t/%q/%v/%s agree on
+// every value class the protocols use (negative ints, quoting-relevant
+// strings, [2]int arrays, queues with separator collisions).
+func TestKeyBufMatchesFmt(t *testing.T) {
+	queue := []string{"p|q", "", `quote"back\slash`, "émoji⚡"}
+	for _, tc := range []struct {
+		name string
+		got  string
+		want string
+	}{
+		{
+			"ints",
+			key("k{").d(0).s(" ").d(-17).s(" ").d(1<<40).s("}").done(),
+			fmt.Sprintf("k{%d %d %d}", 0, -17, 1<<40),
+		},
+		{
+			"bools",
+			key("").t(true).s(" ").t(false).done(),
+			fmt.Sprintf("%t %t", true, false),
+		},
+		{
+			"quoted strings",
+			key("").q("").s(" ").q("a\"b\n\x00").s(" ").q("émoji⚡").done(),
+			fmt.Sprintf("%q %q %q", "", "a\"b\n\x00", "émoji⚡"),
+		},
+		{
+			"int pairs",
+			key("").pair([2]int{7, -42}).done(),
+			fmt.Sprintf("%v", [2]int{7, -42}),
+		},
+		{
+			"queues",
+			key("").queue(queue).s(";").queue(nil).done(),
+			fmt.Sprintf("%s;%s", strings.Join(queue, "|"), joinQueue(nil)),
+		},
+	} {
+		if tc.got != tc.want {
+			t.Errorf("%s: keyBuf rendered %q, fmt rendered %q", tc.name, tc.got, tc.want)
+		}
+	}
+}

@@ -88,7 +88,8 @@ func (t *seqNumT) Clone() Transmitter {
 }
 
 func (t *seqNumT) StateKey() string {
-	return keyf("seqnumT{seq=%d busy=%t payload=%q q=%s}", t.seq, t.busy, t.payload, joinQueue(t.queue))
+	return key("seqnumT{seq=").d(t.seq).s(" busy=").t(t.busy).
+		s(" payload=").q(t.payload).s(" q=").queue(t.queue).s("}").done()
 }
 
 // StateSize is O(log n): the counter's decimal width plus pending payloads.
@@ -155,7 +156,8 @@ func (r *seqNumR) Clone() Receiver {
 }
 
 func (r *seqNumR) StateKey() string {
-	return keyf("seqnumR{next=%d pendAcks=%d pendDeliv=%d}", r.next, len(r.acks), len(r.delivered))
+	return key("seqnumR{next=").d(r.next).s(" pendAcks=").d(len(r.acks)).
+		s(" pendDeliv=").d(len(r.delivered)).s("}").done()
 }
 
 func (r *seqNumR) StateSize() int {

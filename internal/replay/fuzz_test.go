@@ -1,0 +1,54 @@
+package replay
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/trace"
+)
+
+// FuzzReplayRobustness feeds arbitrary bytes through the trace decoder into
+// the replayer. Replay is the trust boundary for certificates — shrunk,
+// hand-edited and fuzzer-generated traces all pass through Run — so for any
+// input whatsoever it must either return an error or a result, never panic.
+// (Infeasible stale deliveries, exhausted decision streams, unknown
+// protocols and observational traces are all defined, non-panicking
+// outcomes.)
+func FuzzReplayRobustness(f *testing.F) {
+	// Seed with a genuine recorded run, a truncation of it, and junk.
+	l := trace.NewLog(map[string]string{
+		trace.MetaProtocol: "altbit",
+		trace.MetaKind:     "sim",
+	})
+	l.Emit(trace.Event{Kind: trace.KindSubmit, Msg: ioa.Message{ID: 0, Payload: "m0"}})
+	l.Emit(trace.Event{Kind: trace.KindTransmit})
+	l.Emit(trace.Event{Kind: trace.KindDecision, Dir: ioa.TtoR, Decision: trace.DeliverNow})
+	l.Emit(trace.Event{Kind: trace.KindStale, Dir: ioa.TtoR, Pkt: ioa.Packet{Header: "d0"}})
+	l.Emit(trace.Event{Kind: trace.KindDrain})
+	var buf bytes.Buffer
+	if err := l.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:len(buf.Bytes())/2])
+	f.Add([]byte("NFTRC\x01\x00"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		// Cap the raw input so a decoded log cannot stall an iteration with
+		// megabyte payloads or a million-op replay; robustness is about
+		// shape, not scale.
+		if len(b) > 4096 {
+			return
+		}
+		l, err := trace.ReadLog(bytes.NewReader(b))
+		if err != nil {
+			return // malformed file: the codec's problem, tested there
+		}
+		res, err := Run(l)
+		if err == nil && res == nil {
+			t.Fatal("Run returned neither result nor error")
+		}
+	})
+}

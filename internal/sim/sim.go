@@ -372,6 +372,15 @@ func (r *Runner) recordStale(d ioa.Dir, p ioa.Packet) {
 	}
 }
 
+// JointState snapshots the observable joint configuration of the system:
+// both endpoints' canonical state keys and the two channels' in-transit
+// occupancy. The fuzzer's coverage signal is built from exactly this tuple —
+// a new joint state (or a new occupancy regime) means the input drove the
+// system somewhere no earlier input did.
+func (r *Runner) JointState() (tkey, rkey string, dataTransit, ackTransit int) {
+	return r.T.StateKey(), r.R.StateKey(), r.ChData.InTransit(), r.ChAck.InTransit()
+}
+
 // Delivered returns the payloads delivered so far (live view).
 func (r *Runner) Delivered() []string { return r.delivered }
 

@@ -113,7 +113,13 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: meta count: %v", ErrFormat, err)
 	}
-	meta := make(map[string]string, n)
+	// Cap the allocation hint: n is attacker-controlled in a corrupt file,
+	// and each entry needs at least two bytes of input anyway.
+	hint := n
+	if hint > 1024 {
+		hint = 1024
+	}
+	meta := make(map[string]string, hint)
 	for i := uint64(0); i < n; i++ {
 		k, err := readString(br)
 		if err != nil {

@@ -17,6 +17,9 @@
 //     self-describing event log, replay it deterministically, and
 //     delta-debug violating logs to minimal counterexamples (see
 //     cmd/nftrace for the command-line pipeline);
+//   - a coverage-guided parallel fuzzer over the channel decision streams
+//     that discovers violating executions automatically and emits them as
+//     shrunk replayable certificates (see cmd/nffuzz);
 //   - boundness measurement per the paper's Definitions 5 and 6;
 //   - a bounded explicit-state model checker (Explore) that exhausts the
 //     channel nondeterminism within bounds — over the paper's non-FIFO
@@ -49,6 +52,7 @@ import (
 	"repro/internal/bound"
 	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/fuzz"
 	"repro/internal/ioa"
 	"repro/internal/protocol"
 	"repro/internal/replay"
@@ -276,6 +280,22 @@ var (
 	WriteTraceFile = trace.WriteFile
 	ReadTraceFile  = trace.ReadFile
 )
+
+// Coverage-guided fuzzing over protocol/channel state spaces (see
+// internal/fuzz and cmd/nffuzz). Inputs are channel decision streams plus
+// driver schedules; coverage is the set of joint endpoint configurations;
+// violating inputs are promoted into shrunk, replayable NFT certificates.
+type (
+	// FuzzConfig describes one fuzzing campaign.
+	FuzzConfig = fuzz.Config
+	// FuzzResult summarizes a completed campaign.
+	FuzzResult = fuzz.Result
+	// FuzzViolation is one promoted, shrunk, replayable finding.
+	FuzzViolation = fuzz.Violation
+)
+
+// Fuzz runs one coverage-guided fuzzing campaign.
+func Fuzz(cfg FuzzConfig) (*FuzzResult, error) { return fuzz.Run(cfg) }
 
 // Boundness measurement (the paper's Definitions 5 and 6).
 type (
