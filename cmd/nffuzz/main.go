@@ -92,6 +92,9 @@ func run(args []string, out io.Writer) error {
 	}
 	for _, v := range res.Violations {
 		fmt.Fprintf(out, "violation %s: found at exec %d, %d ops after shrink", v.Property, v.FoundAtExec, v.Ops)
+		if v.CycleOps > 0 {
+			fmt.Fprintf(out, ", %d-op livelock cycle pumped x3", v.CycleOps)
+		}
 		if v.Path != "" {
 			fmt.Fprintf(out, " -> %s", v.Path)
 		}
@@ -101,7 +104,16 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return fmt.Errorf("re-checking %s certificate: %w", v.Property, err)
 			}
-			if rr.Verdict == nil || rr.Verdict.Property != v.Property {
+			if v.Property == "DL3" {
+				// A livelock certificate is a liveness claim: the replay must
+				// be safety-clean and still strand a message.
+				if rr.Verdict != nil {
+					return fmt.Errorf("livelock certificate re-check violates %s", rr.Verdict.Property)
+				}
+				if rr.DL3 == nil {
+					return fmt.Errorf("livelock certificate re-check delivered everything")
+				}
+			} else if rr.Verdict == nil || rr.Verdict.Property != v.Property {
 				return fmt.Errorf("certificate re-check mismatch: replayed verdict %v, want %s", rr.Verdict, v.Property)
 			}
 			if rr.Divergence != nil {

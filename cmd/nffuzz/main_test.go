@@ -52,6 +52,37 @@ func TestFuzzCheat1FindsDL1(t *testing.T) {
 	}
 }
 
+// TestFuzzLivelockCertifies is the CLI face of the liveness acceptance
+// criterion: fuzzing the livelock protocol must produce a certified DL3
+// finding whose pumped certificate passes the built-in -check replay.
+func TestFuzzLivelockCertifies(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := run([]string{
+		"-protocol", "livelock", "-workers", "1", "-budget", "2000",
+		"-seed", "1", "-o", dir, "-q",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("nffuzz: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "violation DL3") {
+		t.Fatalf("expected a DL3 livelock violation:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "livelock cycle pumped x3") {
+		t.Fatalf("expected the cycle note:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "zero divergence") {
+		t.Fatalf("expected the certificate re-check:\n%s", buf.String())
+	}
+	l, err := trace.ReadFile(filepath.Join(dir, "livelock-DL3.nft"))
+	if err != nil {
+		t.Fatalf("reading certificate: %v", err)
+	}
+	if v, ok := l.Verdict(); !ok || v == nil || v.Property != "DL3" {
+		t.Fatalf("certificate verdict = %v, %v; want DL3", v, ok)
+	}
+}
+
 func TestFuzzSoundProtocolFindsNothing(t *testing.T) {
 	var buf bytes.Buffer
 	err := run([]string{

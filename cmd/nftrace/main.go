@@ -1,6 +1,7 @@
 // Command nftrace works with NFT execution traces: record a simulated run,
 // replay a trace deterministically, shrink a violating trace to a minimal
-// counterexample, and summarize a trace file.
+// counterexample, certify a stranding trace as a pumpable livelock, and
+// summarize a trace file.
 //
 // Examples:
 //
@@ -10,6 +11,9 @@
 //	nftrace shrink v.nft -o min.nft
 //	nftrace replay min.nft
 //	nftrace stats min.nft
+//	nffuzz -protocol livelock -workers 1 -o certs
+//	nftrace certify-livelock certs/livelock-DL3.nft -o pumped.nft
+//	nftrace replay pumped.nft
 package main
 
 import (
@@ -33,10 +37,11 @@ import (
 const usage = `usage: nftrace <command> [arguments]
 
 commands:
-  record  run a protocol under seeded lossy channels and record a trace
-  replay  re-drive a recorded trace and re-check its verdict
-  shrink  minimize a violating trace while preserving the violation
-  stats   summarize a trace file
+  record            run a protocol under seeded lossy channels and record a trace
+  replay            re-drive a recorded trace and re-check its verdict
+  shrink            minimize a violating trace while preserving the violation
+  certify-livelock  certify a stranding trace as a pumpable livelock (Theorem 2.1)
+  stats             summarize a trace file
 
 run "nftrace <command> -h" for command flags`
 
@@ -61,6 +66,8 @@ func run(args []string, out io.Writer) error {
 		return cmdReplay(rest, out)
 	case "shrink":
 		return cmdShrink(rest, out)
+	case "certify-livelock":
+		return cmdCertifyLivelock(rest, out)
 	case "stats":
 		return cmdStats(rest, out)
 	case "-h", "-help", "--help", "help":
@@ -215,9 +222,41 @@ func cmdShrink(args []string, out io.Writer) error {
 	if err := trace.WriteFile(*outPath, sr.Log); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "shrunk %s -> %s preserving %s violation\n", file, *outPath, sr.Property)
+	fmt.Fprintf(out, "shrunk %s -> %s preserving %s violation (oracle %s)\n",
+		file, *outPath, sr.Property, sr.Oracle)
 	fmt.Fprintf(out, "events: %d -> %d, ops: %d -> %d (%d replays)\n",
 		sr.OriginalEvents, sr.FinalEvents, sr.OriginalOps, sr.FinalOps, sr.Replays)
+	return nil
+}
+
+func cmdCertifyLivelock(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("certify-livelock", flag.ContinueOnError)
+	var (
+		outPath = fs.String("o", "livelock.nft", "output file for the pumped certificate")
+		pump    = fs.Int("pump", 3, "cycle repetitions in the emitted certificate")
+		budget  = fs.Int("budget", replay.DefaultDriveBudget, "closing-drive round budget")
+	)
+	file, err := parseWithFile(fs, args)
+	if err != nil {
+		return err
+	}
+	l, err := trace.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	cert, err := replay.CertifyLivelock(l, replay.CertifyOptions{DriveBudget: *budget, Pump: *pump})
+	if err != nil {
+		return err
+	}
+	pumped := cert.Pumped(*pump)
+	if err := trace.WriteFile(*outPath, pumped); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "certified livelock in %s: protocol %s\n", file, cert.Protocol)
+	fmt.Fprintf(out, "prefix %d ops, cycle %d ops, pumped x%d -> %s\n",
+		cert.PrefixOps, cert.CycleOps, *pump, *outPath)
+	fmt.Fprintf(out, "liveness: %v\n", cert.DL3)
+	fmt.Fprintf(out, "repeated configuration: %q\n", cert.RepeatedKey)
 	return nil
 }
 

@@ -84,6 +84,51 @@ func TestShrinkPipeline(t *testing.T) {
 	}
 }
 
+// strandingFile writes a safety-clean trace of the livelock protocol: one
+// submitted message, one transmit, nothing delivered. The certify-livelock
+// pipeline must turn it into a pumped certificate that replays clean.
+func strandingFile(t *testing.T, path string) {
+	t.Helper()
+	l := trace.NewLog(map[string]string{trace.MetaProtocol: "livelock", trace.MetaKind: "sim"})
+	l.Emit(trace.Event{Kind: trace.KindSubmit, Msg: ioa.Message{ID: 0, Payload: "m0"}})
+	l.Emit(trace.Event{Kind: trace.KindTransmit})
+	l.Emit(trace.Event{Kind: trace.KindDecision, Dir: 1, Decision: trace.DeliverNow})
+	if err := trace.WriteFile(path, l); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertifyLivelockPipeline(t *testing.T) {
+	dir := t.TempDir()
+	strandingFile(t, dir+"/strand.nft")
+	out := mustRun(t, "certify-livelock", dir+"/strand.nft", "-o", dir+"/pumped.nft")
+	for _, want := range []string{"certified livelock", "protocol livelock", "pumped x3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("certify output missing %q:\n%s", want, out)
+		}
+	}
+	out = mustRun(t, "replay", dir+"/pumped.nft")
+	if !strings.Contains(out, "verdict: safe") || !strings.Contains(out, "liveness: DL3") {
+		t.Fatalf("replay of pumped certificate:\n%s", out)
+	}
+	if !strings.Contains(out, "recorded verdict reproduced") {
+		t.Fatalf("pumped certificate verdict not reproduced:\n%s", out)
+	}
+}
+
+func TestCertifyLivelockRefusesRecoverableTrace(t *testing.T) {
+	dir := t.TempDir()
+	mustRun(t, "record", "-protocol", "altbit", "-messages", "2", "-seed", "2", "-o", dir+"/run.nft")
+	var buf bytes.Buffer
+	err := run([]string{"certify-livelock", dir + "/run.nft"}, &buf)
+	if err == nil {
+		t.Fatal("certified a livelock for a recovering protocol")
+	}
+	if !strings.Contains(err.Error(), "recovers") && !strings.Contains(err.Error(), "no livelock") {
+		t.Fatalf("unhelpful refusal: %v", err)
+	}
+}
+
 func TestErrors(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(nil, &buf); err == nil {
@@ -105,7 +150,7 @@ func TestErrors(t *testing.T) {
 
 func TestHelp(t *testing.T) {
 	out := mustRun(t, "help")
-	for _, want := range []string{"record", "replay", "shrink", "stats"} {
+	for _, want := range []string{"record", "replay", "shrink", "certify-livelock", "stats"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("help missing %q", want)
 		}

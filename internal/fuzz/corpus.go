@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"repro/internal/protocol"
 )
 
 // Corpus management: the retained input set and its on-disk form.
@@ -58,7 +60,44 @@ func saveEntry(dir string, in *Input) error {
 	return SaveCorpus(dir, []*Input{in})
 }
 
-// LoadCorpus reads every *.nfzi file in dir, in deterministic (sorted-name)
+// Distill reduces a corpus to a covering subset for proto by greedy set
+// cover: every input is executed against proto once, then inputs are
+// admitted in repeated passes, each pass taking the input contributing the
+// most still-uncovered coverage points, until no remaining input contributes
+// anything. The classic use is cross-protocol corpus transfer — schedules
+// that explored one protocol's joint-state space are distilled against the
+// *target* protocol, and the survivors seed its campaign; the
+// channel-behaviour structure they carry (strand, accumulate, re-deliver
+// late) transfers even though the endpoint state spaces differ.
+func Distill(proto protocol.Protocol, inputs []*Input) []*Input {
+	type scored struct {
+		in     *Input
+		points []uint64
+	}
+	pool := make([]*scored, 0, len(inputs))
+	for _, in := range inputs {
+		res := Execute(proto, in, false)
+		pool = append(pool, &scored{in: in, points: res.Points})
+	}
+	covered := make(coverSet)
+	var kept []*Input
+	for len(pool) > 0 {
+		best, bestFresh := -1, 0
+		for i, s := range pool {
+			if fresh := covered.countNew(s.points); fresh > bestFresh {
+				best, bestFresh = i, fresh
+			}
+		}
+		if best < 0 {
+			break
+		}
+		covered.addAll(pool[best].points)
+		kept = append(kept, pool[best].in)
+		pool = append(pool[:best], pool[best+1:]...)
+	}
+	return kept
+}
+
 // order. A missing directory is an empty corpus; an undecodable file is an
 // error (a corpus dir is machine-written — corruption should be loud).
 func LoadCorpus(dir string) ([]*Input, error) {

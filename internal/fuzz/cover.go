@@ -34,6 +34,18 @@ func point(tkey, rkey string, dataTransit, ackTransit int) uint64 {
 	return h.Sum64()
 }
 
+// livelockPoint hashes a certified livelock's cycle length (in driver
+// operations, log-bucketed like channel occupancy) into the coverage space.
+// It rewards campaigns for reaching structurally different livelocks — a
+// longer pumping cycle is a different finding, not a repeat — without letting
+// cycle length mint unbounded points.
+func livelockPoint(cycleOps int) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte("livelock-cycle"))
+	_, _ = h.Write([]byte{0, byte(occBucket(cycleOps))})
+	return h.Sum64()
+}
+
 // coverSet is a set of coverage points. It is not synchronized: workers own
 // private sets, and the master set lives in the corpus-merger goroutine.
 type coverSet map[uint64]struct{}

@@ -66,12 +66,18 @@ func (c Config) withDefaults() (Config, error) {
 // Violation is one promoted finding: a shrunk, re-recorded, replayable
 // counterexample.
 type Violation struct {
-	// Property is the violated property ("PL1", "DL1", "DL2").
+	// Property is the violated property ("PL1", "DL1", "DL2", or "DL3" for a
+	// certified livelock).
 	Property string
-	// Cert is the minimized certificate trace (replay.Shrink output).
+	// Cert is the certificate trace: the replay.Shrink output for safety
+	// violations, or the pumped pumping-lemma certificate for livelocks.
 	Cert *trace.Log
-	// Ops is the certificate's driver-operation count after shrinking.
+	// Ops is the minimized schedule's driver-operation count. For livelocks
+	// this counts the shrunk prefix schedule, not the pumped certificate.
 	Ops int
+	// CycleOps is the pumping cycle's driver-operation count; 0 for safety
+	// violations.
+	CycleOps int
 	// FoundAtExec is the execution count at discovery.
 	FoundAtExec int64
 	// Path is the written certificate file ("" when Config.OutDir unset).
@@ -90,8 +96,10 @@ type Result struct {
 	// smallest certificate wins), sorted by property.
 	Violations []*Violation
 	// DL3Misses counts executions that stranded submitted messages
-	// (quiescent-DL3 failures). Almost every partial schedule does; the
-	// count is reported for context, not certified — see DESIGN.md §8.
+	// (quiescent-DL3 failures). Almost every partial schedule does, so the
+	// raw count is context only; misses that survive the reliable closing
+	// drive are promoted to certified livelocks (Violations entries with
+	// Property "DL3") — see DESIGN.md §8.
 	DL3Misses int64
 	// Elapsed is the campaign wall-clock time.
 	Elapsed time.Duration
@@ -143,7 +151,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		res := Execute(cfg.Protocol, in, false)
 		c.execs.Add(1)
-		c.observe(in, res)
+		c.observe(in, res, true)
 		if c.stop.Load() {
 			break
 		}
@@ -161,20 +169,29 @@ func Run(cfg Config) (*Result, error) {
 
 // observe merges one execution into the campaign: coverage admission and
 // violation promotion. Serial path and merger goroutine both funnel through
-// it; in the parallel path it runs only on the merger goroutine.
-func (c *campaign) observe(in *Input, res *ExecResult) {
-	if res.DL3 != nil {
+// it; in the parallel path it runs only on the merger goroutine, with
+// countDL3 false because workers already counted their own misses.
+func (c *campaign) observe(in *Input, res *ExecResult, countDL3 bool) {
+	if countDL3 && res.DL3 != nil {
 		c.dl3Misses.Add(1)
 	}
 	if res.Verdict != nil {
 		c.promote(in, res)
 	}
-	if fresh := c.master.addAll(res.Points); fresh > 0 {
+	fresh := c.master.addAll(res.Points)
+	if fresh > 0 {
 		kept := Trim(in, res)
 		c.corpus = append(c.corpus, &Entry{Input: kept, NewPoints: fresh})
 		if err := saveEntry(c.cfg.CorpusDir, kept); err != nil {
 			fmt.Fprintf(os.Stderr, "fuzz: %v\n", err)
 		}
+	}
+	// Livelock promotion: a safety-clean DL3 miss on a coverage-adding input
+	// is a candidate livelock. Gating on fresh coverage keeps certification
+	// attempts rare (the common stranded-schedule miss adds nothing new after
+	// the frontier settles), and the first certified win per campaign is kept.
+	if fresh > 0 && res.Verdict == nil && res.DL3 != nil && c.wins["DL3"] == nil {
+		c.promoteLivelock(in)
 	}
 	c.maybeStats()
 }
@@ -226,6 +243,70 @@ func (c *campaign) promote(in *Input, res *ExecResult) {
 	}
 }
 
+// promoteLivelock tries to turn a safety-clean DL3 miss into a certified,
+// pumpable livelock. Most misses are stranded schedules the protocol would
+// recover from — ShrinkLiveness's reliable oracle rejects those immediately
+// and silently. A genuine livelock is minimized, certified via the
+// pumping-lemma certifier (which verifies its own cycle by replay), and the
+// *pumped* certificate is what gets recorded and written out.
+func (c *campaign) promoteLivelock(in *Input) {
+	logged := Execute(c.cfg.Protocol, in, true)
+	if logged.Verdict != nil || logged.DL3 == nil {
+		// Unreachable: execution is deterministic.
+		return
+	}
+	// Certify first, shrink after: refusals are one closing drive, while the
+	// liveness shrink replays that drive per candidate. The cheap cases — a
+	// protocol that recovers, or one that strands a dropped message without
+	// cycling (correct counting protocols never retransmit, so a dropped copy
+	// is gone but no configuration repeats) — must stay cheap and silent.
+	if _, err := replay.CertifyLivelock(logged.Log, replay.CertifyOptions{}); err != nil {
+		return
+	}
+	sr, err := replay.ShrinkLiveness(logged.Log, replay.DriveReliable)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fuzz: shrinking livelock trace: %v\n", err)
+		return
+	}
+	cert, err := replay.CertifyLivelock(sr.Log, replay.CertifyOptions{})
+	if err != nil {
+		// The minimized schedule lost the pumping cycle (it can only have
+		// gotten simpler, so this is unexpected); fall back to certifying the
+		// unshrunk trace rather than dropping a real finding.
+		fmt.Fprintf(os.Stderr, "fuzz: re-certifying shrunk livelock trace: %v\n", err)
+		return
+	}
+	v := &Violation{
+		Property:    "DL3",
+		Cert:        cert.Pumped(3),
+		Ops:         sr.FinalOps,
+		CycleOps:    cert.CycleOps,
+		FoundAtExec: c.execs.Load(),
+	}
+	// Cycle length is a coverage dimension of its own: campaigns that have
+	// certified a short cycle still reward inputs reaching longer ones.
+	c.master.addAll([]uint64{livelockPoint(cert.CycleOps)})
+	if c.cfg.OutDir != "" {
+		if err := os.MkdirAll(c.cfg.OutDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "fuzz: out dir: %v\n", err)
+		} else {
+			v.Path = filepath.Join(c.cfg.OutDir, c.cfg.Protocol.Name()+"-DL3.nft")
+			if err := trace.WriteFile(v.Path, v.Cert); err != nil {
+				fmt.Fprintf(os.Stderr, "fuzz: write certificate: %v\n", err)
+				v.Path = ""
+			}
+		}
+	}
+	c.wins["DL3"] = v
+	if c.cfg.Stats != nil {
+		fmt.Fprintf(c.cfg.Stats, "VIOLATION DL3 after %d execs: livelock, %d-op cycle over %d-op schedule%s\n",
+			v.FoundAtExec, v.CycleOps, v.Ops, pathNote(v.Path))
+	}
+	if c.cfg.StopOnViolation {
+		c.stop.Store(true)
+	}
+}
+
 func pathNote(p string) string {
 	if p == "" {
 		return ""
@@ -262,7 +343,7 @@ func (c *campaign) serial() {
 		cand := nextCandidate(c.corpus, rng)
 		res := Execute(c.cfg.Protocol, cand, false)
 		c.execs.Add(1)
-		c.observe(cand, res)
+		c.observe(cand, res, true)
 	}
 }
 
@@ -317,10 +398,9 @@ func (c *campaign) parallel() {
 
 	for wr := range results {
 		before := len(c.corpus)
-		// DL3 was already counted worker-side; zero it so observe does not
-		// double-count.
-		wr.res.DL3 = nil
-		c.observe(wr.in, wr.res)
+		// DL3 was already counted worker-side (countDL3 false), but the value
+		// itself is kept: the merger needs it for livelock promotion.
+		c.observe(wr.in, wr.res, false)
 		if len(c.corpus) != before {
 			snap.Store(&snapshot{corpus: c.corpus})
 		}

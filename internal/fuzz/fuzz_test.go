@@ -38,9 +38,9 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 		nil,
 		[]byte("NFZ"),
 		[]byte("XXXX\x01\x00\x00\x00"),
-		[]byte("NFZI\x02\x00\x00\x00"),                 // bad version
-		[]byte("NFZI\x01\x01\x09\x00\x00\x00\x00\x00"), // unknown op kind
-		[]byte("NFZI\x01\x01\x01\x00\x00\x00\x07\x00"), // bad decision
+		[]byte("NFZI\x02\x00\x00\x00"), // bad version
+		[]byte("NFZI\x01\x01\x09\x00\x00\x00\x00\x00"),               // unknown op kind
+		[]byte("NFZI\x01\x01\x01\x00\x00\x00\x07\x00"),               // bad decision
 		append((&Input{Ops: []Op{{Kind: OpSubmit}}}).Encode(), 0xff), // trailing
 	}
 	for i, b := range cases {
@@ -169,6 +169,65 @@ func TestFindsCheat1DL1(t *testing.T) {
 	res := runCampaign(t, protocol.NewCheat(1), "DL1", 60000)
 	t.Logf("cheat1 DL1 found after %d execs, corpus %d, coverage %d",
 		res.Execs, res.CorpusSize, res.CoveragePoints)
+}
+
+// TestFindsLivelockDL3 is the liveness acceptance test: fuzzing the
+// intentionally broken livelock protocol from benign seeds must produce a
+// certified pumping-lemma livelock — a pumped-cycle certificate that replays
+// deterministically, stays safety-clean, and still fails quiescent DL3.
+func TestFindsLivelockDL3(t *testing.T) {
+	out := t.TempDir()
+	res, err := Run(Config{
+		Protocol:        protocol.NewLivelock(),
+		Workers:         1,
+		Budget:          2000,
+		Seed:            1,
+		OutDir:          out,
+		StopOnViolation: true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var v *Violation
+	for _, got := range res.Violations {
+		if got.Property == "DL3" {
+			v = got
+		}
+	}
+	if v == nil {
+		t.Fatalf("no DL3 livelock certified in %d execs (violations: %v)", res.Execs, res.Violations)
+	}
+	if v.CycleOps == 0 {
+		t.Fatal("livelock violation has no pumping cycle")
+	}
+	if v.Path == "" {
+		t.Fatal("livelock violation has no certificate file")
+	}
+	l, err := trace.ReadFile(v.Path)
+	if err != nil {
+		t.Fatalf("reading certificate: %v", err)
+	}
+	if got := l.Meta[replay.MetaLivelockPump]; got != "3" {
+		t.Errorf("certificate pump meta = %q, want 3", got)
+	}
+	rr, err := replay.Run(l)
+	if err != nil {
+		t.Fatalf("replaying certificate: %v", err)
+	}
+	if rr.Verdict != nil {
+		t.Fatalf("pumped certificate violates safety: %v", rr.Verdict)
+	}
+	if rr.DL3 == nil {
+		t.Fatal("pumped certificate delivers everything; not a livelock")
+	}
+	if rr.Divergence != nil {
+		t.Fatalf("certificate replay diverged: %v", rr.Divergence)
+	}
+	if !rr.VerdictMatches {
+		t.Fatalf("replayed verdict does not match recorded DL3 verdict %v", rr.RecordedVerdict)
+	}
+	t.Logf("livelock DL3 certified after %d execs: %d-op cycle over %d-op schedule",
+		v.FoundAtExec, v.CycleOps, v.Ops)
 }
 
 // TestSeedsAreBenign pins the "from scratch" claim of the discovery tests:

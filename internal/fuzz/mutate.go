@@ -74,46 +74,89 @@ func Mutate(parent *Input, rng *rand.Rand) *Input {
 	return capInput(c)
 }
 
+// mutator is one named mutation operator. Operators mutate the candidate in
+// place (callers pass clones) and draw from the worker RNG; the table order
+// is part of the campaign determinism contract — reordering or renumbering
+// it changes every seeded campaign's trajectory.
+type mutator struct {
+	name  string
+	apply func(c *Input, rng *rand.Rand)
+}
+
+var mutators = [...]mutator{
+	{"flip-decision", opFlipDecision},
+	{"insert-op", opInsertOp},
+	{"remove-op", opRemoveOp},
+	{"splice-stale", opSpliceStale},
+	{"truncate-tail", opTruncateTail},
+	{"extend-ops", opExtendOps},
+	{"extend-decisions", opExtendDecisions},
+	{"duplicate-segment", opDuplicateSegment},
+}
+
 func mutateOnce(c *Input, rng *rand.Rand) *Input {
-	switch rng.Intn(8) {
-	case 0: // flip one decision
-		flipDecision(c, rng)
-	case 1: // insert a random op
-		i := rng.Intn(len(c.Ops) + 1)
-		c.Ops = append(c.Ops[:i], append([]Op{randOp(rng)}, c.Ops[i:]...)...)
-	case 2: // remove one op
-		if len(c.Ops) > 0 {
-			i := rng.Intn(len(c.Ops))
-			c.Ops = append(c.Ops[:i], c.Ops[i+1:]...)
-		}
-	case 3: // splice a stale re-delivery
-		i := rng.Intn(len(c.Ops) + 1)
-		c.Ops = append(c.Ops[:i], append([]Op{randStale(rng)}, c.Ops[i:]...)...)
-	case 4: // truncate the schedule tail
-		if len(c.Ops) > 1 {
-			c.Ops = c.Ops[:1+rng.Intn(len(c.Ops)-1)]
-		}
-	case 5: // extend with a random block
-		for n := 1 + rng.Intn(6); n > 0; n-- {
-			c.Ops = append(c.Ops, randOp(rng))
-		}
-	case 6: // extend a decision stream
-		for n := 1 + rng.Intn(4); n > 0; n-- {
-			if rng.Intn(2) == 0 {
-				c.Data = append(c.Data, randDecision(rng))
-			} else {
-				c.Ack = append(c.Ack, randDecision(rng))
-			}
-		}
-	case 7: // duplicate a schedule segment (pumping-style repetition)
-		if len(c.Ops) > 0 {
-			i := rng.Intn(len(c.Ops))
-			j := i + 1 + rng.Intn(len(c.Ops)-i)
-			seg := append([]Op(nil), c.Ops[i:j]...)
-			c.Ops = append(c.Ops[:j], append(seg, c.Ops[j:]...)...)
+	mutators[rng.Intn(len(mutators))].apply(c, rng)
+	return c
+}
+
+// opFlipDecision rewrites one channel decision (growing an empty stream).
+func opFlipDecision(c *Input, rng *rand.Rand) {
+	flipDecision(c, rng)
+}
+
+// opInsertOp inserts a random op at a random position.
+func opInsertOp(c *Input, rng *rand.Rand) {
+	i := rng.Intn(len(c.Ops) + 1)
+	c.Ops = append(c.Ops[:i], append([]Op{randOp(rng)}, c.Ops[i:]...)...)
+}
+
+// opRemoveOp removes one op.
+func opRemoveOp(c *Input, rng *rand.Rand) {
+	if len(c.Ops) > 0 {
+		i := rng.Intn(len(c.Ops))
+		c.Ops = append(c.Ops[:i], c.Ops[i+1:]...)
+	}
+}
+
+// opSpliceStale splices a stale re-delivery — the paper's replay move.
+func opSpliceStale(c *Input, rng *rand.Rand) {
+	i := rng.Intn(len(c.Ops) + 1)
+	c.Ops = append(c.Ops[:i], append([]Op{randStale(rng)}, c.Ops[i:]...)...)
+}
+
+// opTruncateTail truncates the schedule tail.
+func opTruncateTail(c *Input, rng *rand.Rand) {
+	if len(c.Ops) > 1 {
+		c.Ops = c.Ops[:1+rng.Intn(len(c.Ops)-1)]
+	}
+}
+
+// opExtendOps extends the schedule with a random block.
+func opExtendOps(c *Input, rng *rand.Rand) {
+	for n := 1 + rng.Intn(6); n > 0; n-- {
+		c.Ops = append(c.Ops, randOp(rng))
+	}
+}
+
+// opExtendDecisions extends a decision stream.
+func opExtendDecisions(c *Input, rng *rand.Rand) {
+	for n := 1 + rng.Intn(4); n > 0; n-- {
+		if rng.Intn(2) == 0 {
+			c.Data = append(c.Data, randDecision(rng))
+		} else {
+			c.Ack = append(c.Ack, randDecision(rng))
 		}
 	}
-	return c
+}
+
+// opDuplicateSegment duplicates a schedule segment (pumping-style repetition).
+func opDuplicateSegment(c *Input, rng *rand.Rand) {
+	if len(c.Ops) > 0 {
+		i := rng.Intn(len(c.Ops))
+		j := i + 1 + rng.Intn(len(c.Ops)-i)
+		seg := append([]Op(nil), c.Ops[i:j]...)
+		c.Ops = append(c.Ops[:j], append(seg, c.Ops[j:]...)...)
+	}
 }
 
 func flipDecision(c *Input, rng *rand.Rand) {

@@ -135,15 +135,47 @@ func CheckDL2(tr Trace) error {
 
 // CheckDL3Quiescent verifies the liveness property (DL3) in its quiescent
 // form on a completed run: every send_msg has a corresponding receive_msg.
+// Correspondence is per message — a preceding send_msg with the same ID and
+// payload, matched at most once — not a bare count comparison, so duplicate
+// deliveries of one message cannot mask another message's strand. The check
+// is strictly stronger than rm ≥ sm: any trace it accepts has a matching
+// receive for every send, hence at least as many receives as sends.
 // (On infinite executions DL3 is a liveness property; the simulator enforces
 // it operationally with step budgets.)
 func CheckDL3Quiescent(tr Trace) error {
-	c := tr.Count()
-	if c.RM < c.SM {
+	unmatched := make(map[int]int) // message ID -> sends without a matching receive
+	payload := make(map[int]string)
+	sm := 0
+	for _, e := range tr {
+		switch e.Kind {
+		case SendMsg:
+			unmatched[e.Msg.ID]++
+			payload[e.Msg.ID] = e.Msg.Payload
+			sm++
+		case ReceiveMsg:
+			// A receive matches only a *preceding* send of the same message;
+			// anything else (duplicate, spurious, corrupted, or out-of-order
+			// positional ID) is DL1's problem and matches nothing here.
+			if unmatched[e.Msg.ID] > 0 && payload[e.Msg.ID] == e.Msg.Payload {
+				unmatched[e.Msg.ID]--
+			}
+		}
+	}
+	stranded, first := 0, -1
+	for id, n := range unmatched {
+		if n > 0 {
+			stranded += n
+			if first == -1 || id < first {
+				first = id
+			}
+		}
+	}
+	if stranded > 0 {
 		return &Violation{
 			Property: "DL3",
 			Index:    -1,
-			Detail:   fmt.Sprintf("%d messages sent but only %d delivered", c.SM, c.RM),
+			Detail: fmt.Sprintf("%d of %d sent messages have no matching delivery (first stranded id %d)",
+				stranded, sm, first),
 		}
 	}
 	return nil

@@ -156,15 +156,54 @@ func TestDL2GapsAllowed(t *testing.T) {
 }
 
 func TestDL3Quiescent(t *testing.T) {
-	if err := CheckDL3Quiescent(Trace{sendM(0), recvM(0)}); err != nil {
-		t.Fatalf("DL3 should hold: %v", err)
+	tests := []struct {
+		name   string
+		tr     Trace
+		fails  bool
+		detail string // required substring of the violation detail
+	}{
+		{"empty trace", Trace{}, false, ""},
+		{"all delivered", Trace{sendM(0), recvM(0), sendM(1), recvM(1)}, false, ""},
+		{"single strand", Trace{sendM(0)}, true, "1 of 1"},
+		// Duplicate deliveries of message 0 must not mask message 1's strand:
+		// rm >= sm holds (3 >= 2), so a count comparison would pass, but
+		// message 1 has no matching delivery.
+		{"duplicate masks strand",
+			Trace{sendM(0), recvM(0), recvM(0), sendM(1)}, true, "stranded id 1"},
+		// A delivery whose payload differs from the send is DL1's problem and
+		// matches nothing here: the send stays stranded.
+		{"corrupted delivery does not match",
+			Trace{sendM(0), Event{Kind: ReceiveMsg, Msg: Message{ID: 0, Payload: "y"}}},
+			true, "stranded id 0"},
+		// Send after quiescence: a delivery cannot match a *later* send, so a
+		// trace that goes quiescent and then accepts one more message fails.
+		{"send after quiescence", Trace{recvM(0), sendM(0)}, true, "stranded id 0"},
+		{"interleaved strands",
+			Trace{sendM(0), sendM(1), recvM(1), sendM(2)}, true, "2 of 3"},
 	}
-	err := CheckDL3Quiescent(Trace{sendM(0)})
-	if err == nil {
-		t.Fatal("DL3 should fail with an undelivered message")
-	}
-	if v, _ := AsViolation(err); v.Index != -1 {
-		t.Fatalf("DL3 violation should point at end of trace, got %d", v.Index)
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckDL3Quiescent(tc.tr)
+			if !tc.fails {
+				if err != nil {
+					t.Fatalf("DL3 should hold: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("DL3 should fail")
+			}
+			v, ok := AsViolation(err)
+			if !ok || v.Property != "DL3" {
+				t.Fatalf("not a DL3 violation: %v", err)
+			}
+			if v.Index != -1 {
+				t.Fatalf("DL3 violation should point at end of trace, got %d", v.Index)
+			}
+			if !strings.Contains(v.Detail, tc.detail) {
+				t.Fatalf("detail %q does not contain %q", v.Detail, tc.detail)
+			}
+		})
 	}
 }
 

@@ -21,7 +21,7 @@ func TestKeyBufMatchesFmt(t *testing.T) {
 	}{
 		{
 			"ints",
-			key("k{").d(0).s(" ").d(-17).s(" ").d(1<<40).s("}").done(),
+			key("k{").d(0).s(" ").d(-17).s(" ").d(1 << 40).s("}").done(),
 			fmt.Sprintf("k{%d %d %d}", 0, -17, 1<<40),
 		},
 		{

@@ -91,9 +91,11 @@ type Result struct {
 	// any; HadRecordedVerdict says whether one was present.
 	RecordedVerdict    *ioa.Violation
 	HadRecordedVerdict bool
-	// VerdictMatches reports whether the re-checked safety verdict agrees
-	// with the recorded one: same violated property, or both clean (a trace
-	// without a verdict event counts as clean).
+	// VerdictMatches reports whether the re-checked verdict agrees with the
+	// recorded one: same violated safety property, both clean (a trace
+	// without a verdict event counts as clean), or — for a recorded DL3
+	// verdict, as liveness certificates carry — a replay that is safety-clean
+	// and still fails the quiescent-liveness check.
 	VerdictMatches bool
 	// Log is the re-recorded event log of the replayed execution, with a
 	// fresh verdict event appended. Shrinking uses it as the canonical form
@@ -112,11 +114,24 @@ type Result struct {
 	Divergence *Divergence
 }
 
-// Run replays a recorded simulation trace and re-checks it. It fails on
-// traces that are not re-drivable: unknown protocols, or observational
-// recordings (e.g. netlink session logs, which capture only one vantage
-// point of a real network run and cannot be re-executed).
-func Run(l *trace.Log) (*Result, error) {
+// redriven is the raw outcome of re-issuing a log's operations: the runner
+// (still live, so callers can keep driving it), the fresh capture log, and
+// the replay bookkeeping. Run consumes it directly; the liveness certifier
+// (liveness.go) keeps driving the runner past the recorded operations.
+type redriven struct {
+	runner             *sim.Runner
+	log                *trace.Log
+	ops                int
+	staleSkipped       int
+	decisionsExhausted bool
+}
+
+// redrive re-issues a recorded log's operations against a fresh runner with
+// the recorded decision streams substituted for the channel policies. It
+// fails on traces that are not re-drivable: unknown protocols, or
+// observational recordings (e.g. netlink session logs, which capture only
+// one vantage point of a real network run and cannot be re-executed).
+func redrive(l *trace.Log) (*redriven, error) {
 	if kind := l.Meta[trace.MetaKind]; kind != "" && kind != "sim" {
 		return nil, fmt.Errorf("replay: trace kind %q is observational, only %q traces can be re-driven", kind, "sim")
 	}
@@ -129,29 +144,29 @@ func Run(l *trace.Log) (*Result, error) {
 		return nil, err
 	}
 
-	res := &Result{Protocol: name}
-	rl := trace.NewLog(nil)
+	rd := &redriven{log: trace.NewLog(nil)}
 	for k, v := range l.Meta {
-		rl.SetMeta(k, v)
+		rd.log.SetMeta(k, v)
 	}
-	rl.SetMeta(trace.MetaSource, "replay")
+	rd.log.SetMeta(trace.MetaSource, "replay")
 	r := sim.NewRunner(sim.Config{
 		Protocol: proto,
 		// Substitute the recorded decision streams for the channel policies.
 		// Delay is the conservative fallback once a stream runs dry: extra
 		// packets strand in transit rather than being delivered in ways the
 		// recording never sanctioned.
-		DataPolicy:  channel.FromDecisions(l.Decisions(ioa.TtoR), channel.Delay, &res.DecisionsExhausted),
-		AckPolicy:   channel.FromDecisions(l.Decisions(ioa.RtoT), channel.Delay, &res.DecisionsExhausted),
+		DataPolicy:  channel.FromDecisions(l.Decisions(ioa.TtoR), channel.Delay, &rd.decisionsExhausted),
+		AckPolicy:   channel.FromDecisions(l.Decisions(ioa.RtoT), channel.Delay, &rd.decisionsExhausted),
 		RecordTrace: true,
-		TraceLog:    rl,
+		TraceLog:    rd.log,
 	})
+	rd.runner = r
 
 	for _, e := range l.Events {
 		if !e.Kind.IsOp() {
 			continue
 		}
-		res.Ops++
+		rd.ops++
 		switch e.Kind {
 		case trace.KindSubmit:
 			r.SubmitMsg(e.Msg.Payload)
@@ -163,12 +178,28 @@ func Run(l *trace.Log) (*Result, error) {
 			if err := r.DeliverStale(e.Dir, e.Pkt); err != nil {
 				// The delayed copy does not exist in this (shrunk) execution;
 				// the move is infeasible and skipped.
-				res.StaleSkipped++
+				rd.staleSkipped++
 			}
 		}
 	}
+	return rd, nil
+}
 
-	run := r.Result()
+// Run replays a recorded simulation trace and re-checks it.
+func Run(l *trace.Log) (*Result, error) {
+	rd, err := redrive(l)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Protocol:           l.Meta[trace.MetaProtocol],
+		Ops:                rd.ops,
+		StaleSkipped:       rd.staleSkipped,
+		DecisionsExhausted: rd.decisionsExhausted,
+	}
+	rl := rd.log
+
+	run := rd.runner.Result()
 	res.Delivered = run.Delivered
 	res.Metrics = run.Metrics
 	res.Trace = run.Trace
@@ -179,23 +210,42 @@ func Run(l *trace.Log) (*Result, error) {
 		res.DL3, _ = ioa.AsViolation(err)
 	}
 	res.RecordedVerdict, res.HadRecordedVerdict = l.Verdict()
-	res.VerdictMatches = sameVerdict(res.Verdict, res.RecordedVerdict)
+	res.VerdictMatches = verdictMatches(res.Verdict, res.DL3, res.RecordedVerdict)
 	res.Divergence = diverge(l, rl)
 
-	ve := trace.Event{Kind: trace.KindVerdict}
-	if res.Verdict != nil {
-		ve.Property, ve.Index, ve.Detail = res.Verdict.Property, res.Verdict.Index, res.Verdict.Detail
-	}
-	rl.Emit(ve)
+	rl.Emit(verdictEvent(res.Verdict, res.DL3))
 	res.Log = rl
 	return res, nil
 }
 
-func sameVerdict(a, b *ioa.Violation) bool {
-	if a == nil || b == nil {
-		return a == nil && b == nil
+// verdictEvent renders the replayed checker outcome as a verdict event: the
+// safety violation if there is one, else the quiescent-liveness (DL3)
+// violation, else a clean verdict. Safety wins because it is the stronger
+// finding — a DL3 miss alongside a safety break is scheduling residue.
+func verdictEvent(safety, dl3 *ioa.Violation) trace.Event {
+	ve := trace.Event{Kind: trace.KindVerdict}
+	switch {
+	case safety != nil:
+		ve.Property, ve.Index, ve.Detail = safety.Property, safety.Index, safety.Detail
+	case dl3 != nil:
+		ve.Property, ve.Index, ve.Detail = dl3.Property, dl3.Index, dl3.Detail
 	}
-	return a.Property == b.Property
+	return ve
+}
+
+// verdictMatches compares the replayed checker outcome against a recorded
+// verdict. A recorded DL3 verdict is a liveness claim: it is reproduced when
+// the replay is safety-clean and still strands a message. Safety verdicts
+// must reproduce the same property; a clean (or absent) recorded verdict
+// requires a safety-clean replay.
+func verdictMatches(safety, dl3, recorded *ioa.Violation) bool {
+	if recorded == nil {
+		return safety == nil
+	}
+	if recorded.Property == "DL3" {
+		return safety == nil && dl3 != nil
+	}
+	return safety != nil && safety.Property == recorded.Property
 }
 
 // replayable projects a log onto the events a replay must reproduce:

@@ -13,20 +13,24 @@ import (
 // with the observations and decisions it caused. Removing whole groups keeps
 // every remaining decision attached to the operation that consumed it, so a
 // candidate trace is still a coherent script for the replayer. Candidates
-// are never trusted: each one is re-executed by Run, and it survives only if
-// the replayed execution still violates the original property.
+// are never trusted: each one is re-executed by Run (and, for liveness, by
+// CloseDrive), and it survives only if the re-driven execution still
+// violates the original property.
 //
-// Two passes are applied:
+// Two oracle families are supported:
 //
-//  1. Prefix truncation by binary search. Safety violations are
-//     prefix-monotone — replaying the first k groups reproduces the first k
-//     groups' execution exactly, and once the violating event has happened no
-//     extension can unhappen it — so "the first k groups still violate" is
-//     monotone in k and the minimal violating prefix is found in O(log n)
-//     replays.
-//  2. Greedy group removal to a fixpoint. Within the prefix, each group is
-//     tentatively removed (latest first — trailing pump traffic is the usual
-//     fat) and the removal is kept if the violation survives the re-run.
+//   - Safety (PL1, DL1, DL2): the original delta-debugging mode. Safety
+//     violations are prefix-monotone — once the violating event has happened
+//     no extension can unhappen it — so a binary-search prefix-truncation
+//     pass runs before greedy group removal.
+//   - Liveness (quiescent DL3): a trace violates iff, after the
+//     quiescence-forcing closing drive of the selected DriveMode, some
+//     submitted message still has no matching delivery and safety is clean.
+//     Liveness is *not* prefix-monotone (extending a violating prefix with a
+//     delivering operation removes the violation, and vice versa), so only
+//     the greedy removal pass runs; greedy-to-fixpoint alone still yields
+//     1-minimality — removing any single remaining group loses the
+//     violation.
 //
 // The result is the *re-recorded* log of the final candidate, not the
 // candidate itself: what Shrink returns is an execution the replayer
@@ -36,8 +40,11 @@ import (
 type ShrinkResult struct {
 	// Log is the minimized, re-recorded violating trace.
 	Log *trace.Log
-	// Property is the preserved violation property (e.g. "DL1").
+	// Property is the preserved violation property (e.g. "DL1", "DL3").
 	Property string
+	// Oracle names the preservation oracle used: "safety", or
+	// "DL3-reliable" / "DL3-adversarial" for the liveness modes.
+	Oracle string
 	// OriginalEvents and FinalEvents count trace events before and after.
 	OriginalEvents, FinalEvents int
 	// OriginalOps and FinalOps count driver operations before and after.
@@ -71,21 +78,53 @@ func segment(l *trace.Log) (prelude []trace.Event, groups []group) {
 	return prelude, groups
 }
 
-// Shrink minimizes a violating trace. It fails if the trace does not
-// reproduce a safety violation when replayed (there is nothing to preserve).
-func Shrink(l *trace.Log) (*ShrinkResult, error) {
-	res := &ShrinkResult{OriginalEvents: l.Len()}
+// oracle is a shrink-preservation predicate over candidate traces.
+type oracle struct {
+	// property is the preserved violation property.
+	property string
+	// name identifies the oracle in ShrinkResult.Oracle.
+	name string
+	// prefixPass enables the binary-search prefix-truncation pass; sound
+	// only for prefix-monotone properties (safety).
+	prefixPass bool
+	// holds reports whether the candidate still exhibits the violation.
+	holds func(*trace.Log) bool
+}
 
-	full, err := Run(l)
-	if err != nil {
-		return nil, err
+// safetyOracle preserves a specific safety property through Run.
+func safetyOracle(property string) oracle {
+	return oracle{
+		property:   property,
+		name:       "safety",
+		prefixPass: true,
+		holds: func(c *trace.Log) bool {
+			r, err := Run(c)
+			return err == nil && r.Verdict != nil && r.Verdict.Property == property
+		},
 	}
-	res.Replays++
-	if full.Verdict == nil {
-		return nil, fmt.Errorf("replay: trace does not violate any safety property when replayed; nothing to shrink")
+}
+
+// livenessOracle preserves a quiescent-DL3 failure under the given closing
+// drive: the driven candidate must strand a message while staying
+// safety-clean (a candidate that decays into a safety violation is a
+// different counterexample, not a smaller version of this one).
+func livenessOracle(mode DriveMode) oracle {
+	return oracle{
+		property:   "DL3",
+		name:       "DL3-" + mode.String(),
+		prefixPass: false,
+		holds: func(c *trace.Log) bool {
+			out, err := CloseDrive(c, mode, 0)
+			return err == nil && out.Safety == nil && out.DL3 != nil
+		},
 	}
-	res.Property = full.Verdict.Property
-	res.OriginalOps = full.Ops
+}
+
+// shrinkWith minimizes l against o. The caller has already established that
+// o.holds(l) is true.
+func shrinkWith(l *trace.Log, o oracle, res *ShrinkResult) (*ShrinkResult, error) {
+	res.Property = o.property
+	res.Oracle = o.name
 
 	prelude, groups := segment(l)
 	candidate := func(keep []group) *trace.Log {
@@ -101,22 +140,25 @@ func Shrink(l *trace.Log) (*ShrinkResult, error) {
 	}
 	violates := func(keep []group) bool {
 		res.Replays++
-		r, err := Run(candidate(keep))
-		return err == nil && r.Verdict != nil && r.Verdict.Property == res.Property
+		return o.holds(candidate(keep))
 	}
 
-	// Pass 1: minimal violating prefix, by binary search. Invariant:
-	// violates(groups[:hi]) is true, violates(groups[:lo-1]) unknown-or-false.
-	lo, hi := 1, len(groups)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if violates(groups[:mid]) {
-			hi = mid
-		} else {
-			lo = mid + 1
+	kept := append([]group(nil), groups...)
+	if o.prefixPass {
+		// Pass 1: minimal violating prefix, by binary search. Invariant:
+		// violates(groups[:hi]) is true, violates(groups[:lo-1])
+		// unknown-or-false. Sound only for prefix-monotone properties.
+		lo, hi := 1, len(groups)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if violates(groups[:mid]) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
 		}
+		kept = append([]group(nil), groups[:hi]...)
 	}
-	kept := append([]group(nil), groups[:hi]...)
 
 	// Pass 2: greedy single-group removal to a fixpoint, latest group first.
 	for changed := true; changed; {
@@ -137,7 +179,7 @@ func Shrink(l *trace.Log) (*ShrinkResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("replay: re-recording shrunk trace: %w", err)
 	}
-	if final.Verdict == nil || final.Verdict.Property != res.Property {
+	if v, _ := final.Log.Verdict(); v == nil || v.Property != res.Property {
 		// Cannot happen: the kept set passed violates() above and Run is
 		// deterministic. Guard anyway rather than emit a non-counterexample.
 		return nil, fmt.Errorf("replay: shrunk trace lost the %s violation on re-recording", res.Property)
@@ -146,4 +188,58 @@ func Shrink(l *trace.Log) (*ShrinkResult, error) {
 	res.FinalEvents = final.Log.Len()
 	res.FinalOps = final.Ops
 	return res, nil
+}
+
+// Shrink minimizes a violating trace, picking the oracle automatically: a
+// safety violation is preserved through Run; failing that, a quiescent-DL3
+// failure is preserved through the reliable closing drive (a genuine
+// protocol livelock) or, failing that, the adversarial one (a
+// stranded-message schedule a correct protocol would recover from). It
+// fails if the trace violates nothing under any oracle (there is nothing to
+// preserve).
+func Shrink(l *trace.Log) (*ShrinkResult, error) {
+	res := &ShrinkResult{OriginalEvents: l.Len()}
+
+	full, err := Run(l)
+	if err != nil {
+		return nil, err
+	}
+	res.Replays++
+	res.OriginalOps = full.Ops
+	if full.Verdict != nil {
+		return shrinkWith(l, safetyOracle(full.Verdict.Property), res)
+	}
+	for _, mode := range []DriveMode{DriveReliable, DriveAdversarial} {
+		o := livenessOracle(mode)
+		res.Replays++
+		if o.holds(l) {
+			return shrinkWith(l, o, res)
+		}
+	}
+	return nil, fmt.Errorf("replay: trace violates no safety property and strands no message when replayed; nothing to shrink")
+}
+
+// ShrinkLiveness minimizes a trace against the quiescent-DL3 oracle of the
+// given drive mode, refusing traces that do not exhibit a safety-clean DL3
+// failure under that mode. The fuzzer's livelock promotion uses it with
+// DriveReliable so the minimized schedule still livelocks — not merely
+// strands — before certification.
+func ShrinkLiveness(l *trace.Log, mode DriveMode) (*ShrinkResult, error) {
+	res := &ShrinkResult{OriginalEvents: l.Len()}
+
+	full, err := Run(l)
+	if err != nil {
+		return nil, err
+	}
+	res.Replays++
+	res.OriginalOps = full.Ops
+	if full.Verdict != nil {
+		return nil, fmt.Errorf("replay: trace violates %s; ShrinkLiveness preserves safety-clean DL3 failures only (use Shrink)", full.Verdict.Property)
+	}
+	o := livenessOracle(mode)
+	res.Replays++
+	if !o.holds(l) {
+		return nil, fmt.Errorf("replay: trace does not fail quiescent DL3 under the %s closing drive; nothing to shrink", mode)
+	}
+	return shrinkWith(l, o, res)
 }

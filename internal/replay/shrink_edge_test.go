@@ -106,10 +106,14 @@ func TestShrinkRefusesNonViolatingTrace(t *testing.T) {
 	}
 }
 
-// TestShrinkDL3OnlyTraceRefused: a trace that strands a message (quiescent
-// DL3 failure) but violates no safety property is also not shrinkable — the
-// shrinker preserves safety violations only.
-func TestShrinkDL3OnlyTraceRefused(t *testing.T) {
+// TestShrinkDL3OnlyTraceShrinks: a trace that strands a message (quiescent
+// DL3 failure) but violates no safety property now shrinks under the
+// liveness oracle. Altbit recovers under the reliable closing drive (the
+// transmitter retransmits until confirmed), so the preserved failure is the
+// *schedule*'s — the adversarial oracle — and the minimal counterexample is
+// the lone submit: a message accepted by the transmitter that the recorded
+// channel behaviour never delivers.
+func TestShrinkDL3OnlyTraceShrinks(t *testing.T) {
 	l := trace.NewLog(nil)
 	r := sim.NewRunner(sim.Config{
 		Protocol:    replayLookup(t, "altbit"),
@@ -120,8 +124,31 @@ func TestShrinkDL3OnlyTraceRefused(t *testing.T) {
 	})
 	r.SubmitMsg("m0")
 	r.StepTransmit() // delayed: message stranded forever
-	if _, err := Shrink(l); err == nil ||
-		!strings.Contains(err.Error(), "nothing to shrink") {
-		t.Fatalf("DL3-only trace not clearly refused: %v", err)
+	sr, err := Shrink(l)
+	if err != nil {
+		t.Fatalf("Shrink refused a DL3-only trace: %v", err)
+	}
+	if sr.Property != "DL3" {
+		t.Fatalf("preserved property = %q, want DL3", sr.Property)
+	}
+	if sr.Oracle != "DL3-adversarial" {
+		t.Fatalf("oracle = %q, want DL3-adversarial (altbit recovers under the reliable drive)", sr.Oracle)
+	}
+	if sr.FinalOps != 1 {
+		t.Fatalf("FinalOps = %d, want 1 (the lone submit)", sr.FinalOps)
+	}
+	if v, ok := sr.Log.Verdict(); !ok || v == nil || v.Property != "DL3" {
+		t.Fatalf("shrunk log verdict = %v (present=%v), want DL3", v, ok)
+	}
+	// 1-minimality: removing the one remaining op loses the violation — an
+	// empty trace submits nothing, so nothing can strand.
+	out, err := CloseDrive(trace.NewLog(map[string]string{
+		trace.MetaProtocol: "altbit", trace.MetaKind: "sim",
+	}), DriveAdversarial, 0)
+	if err != nil {
+		t.Fatalf("CloseDrive on empty trace: %v", err)
+	}
+	if out.DL3 != nil {
+		t.Fatalf("empty trace fails DL3 under adversarial drive: %v", out.DL3)
 	}
 }

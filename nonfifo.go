@@ -268,8 +268,54 @@ func NewTraceLog() *TraceLog { return trace.NewLog(nil) }
 func Replay(l *TraceLog) (*ReplayResult, error) { return replay.Run(l) }
 
 // Shrink delta-debugs a violating log to a minimal counterexample that
-// still violates the same property when replayed.
+// still violates the same property when replayed. Safety violations use the
+// prefix-search + greedy oracle; safety-clean logs that strand a message are
+// minimized under the liveness oracles (reliable first, then adversarial).
 func Shrink(l *TraceLog) (*ShrinkResult, error) { return replay.Shrink(l) }
+
+// Liveness certification (see internal/replay/liveness.go): the executable
+// analogue of Theorem 2.1's pumping argument. CertifyLivelock turns a
+// safety-clean trace that strands a message *and keeps looping under the
+// optimal physical layer* into a prefix+cycle certificate whose cycle pumps
+// any number of times and still fails CheckDL3Quiescent.
+type (
+	// DriveMode selects the closing drive: reliable (protocol must recover)
+	// or adversarial (the channel delivers nothing further).
+	DriveMode = replay.DriveMode
+	// DriveOutcome reports what the closing drive did to a replayed trace.
+	DriveOutcome = replay.DriveOutcome
+	// LivelockCert is a certified prefix+cycle livelock.
+	LivelockCert = replay.LivelockCert
+	// CertifyOptions tunes CertifyLivelock; the zero value is ready to use.
+	CertifyOptions = replay.CertifyOptions
+)
+
+// Drive modes for CloseDrive and ShrinkLiveness.
+const (
+	DriveReliable    = replay.DriveReliable
+	DriveAdversarial = replay.DriveAdversarial
+)
+
+// CloseDrive replays l and drives the quiescence-forcing closing extension
+// (no new submissions) under the selected mode; budget <= 0 uses the
+// default.
+func CloseDrive(l *TraceLog, mode DriveMode, budget int) (*DriveOutcome, error) {
+	return replay.CloseDrive(l, mode, budget)
+}
+
+// CertifyLivelock certifies a livelock by detecting a repeated joint
+// configuration with no delivery progress under the reliable closing drive,
+// and verifies the certificate by replaying its pumped cycle.
+func CertifyLivelock(l *TraceLog, opts CertifyOptions) (*LivelockCert, error) {
+	return replay.CertifyLivelock(l, opts)
+}
+
+// ShrinkLiveness minimizes a trace against the quiescent-DL3 oracle of the
+// given drive mode (the trace must strand a message under that drive while
+// staying safety-clean).
+func ShrinkLiveness(l *TraceLog, mode DriveMode) (*ShrinkResult, error) {
+	return replay.ShrinkLiveness(l, mode)
+}
 
 // TraceStatsOf summarizes a trace log.
 func TraceStatsOf(l *TraceLog) TraceStats { return trace.Collect(l) }
@@ -290,9 +336,17 @@ type (
 	FuzzConfig = fuzz.Config
 	// FuzzResult summarizes a completed campaign.
 	FuzzResult = fuzz.Result
-	// FuzzViolation is one promoted, shrunk, replayable finding.
+	// FuzzViolation is one promoted, shrunk, replayable finding — a safety
+	// certificate, or a pumped livelock certificate (Property "DL3").
 	FuzzViolation = fuzz.Violation
 )
+
+// DistillCorpus reduces a corpus to a covering subset for proto by greedy
+// set cover over the target protocol's coverage points — the cross-protocol
+// corpus-transfer primitive.
+func DistillCorpus(proto Protocol, inputs []*fuzz.Input) []*fuzz.Input {
+	return fuzz.Distill(proto, inputs)
+}
 
 // Fuzz runs one coverage-guided fuzzing campaign.
 func Fuzz(cfg FuzzConfig) (*FuzzResult, error) { return fuzz.Run(cfg) }

@@ -67,6 +67,49 @@ func TestAttackFlow(t *testing.T) {
 	}
 }
 
+func TestLivenessCertificationFlow(t *testing.T) {
+	// Record a benign-looking run of the broken livelock protocol, certify
+	// the livelock through the facade, and verify the pumped certificate
+	// replays clean of safety violations while still failing DL3.
+	l := NewTraceLog()
+	r := NewRunner(Config{
+		Protocol:    Livelock(),
+		DataPolicy:  Reliable(),
+		AckPolicy:   Reliable(),
+		RecordTrace: true,
+		TraceLog:    l,
+	})
+	r.SubmitMsg("m0")
+	r.StepTransmit()
+
+	out, err := CloseDrive(l, DriveReliable, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.CycleFound || out.DL3 == nil {
+		t.Fatalf("closing drive found no livelock cycle: %+v", out)
+	}
+	cert, err := CertifyLivelock(l, CertifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Replay(cert.Pumped(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Verdict != nil || rr.DL3 == nil || rr.Divergence != nil {
+		t.Fatalf("pumped certificate: verdict=%v dl3=%v divergence=%v",
+			rr.Verdict, rr.DL3, rr.Divergence)
+	}
+	sr, err := ShrinkLiveness(l, DriveReliable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Property != "DL3" || sr.FinalOps != 1 {
+		t.Fatalf("liveness shrink: property %s, %d ops", sr.Property, sr.FinalOps)
+	}
+}
+
 func TestBoundnessFlow(t *testing.T) {
 	samples, err := MeasurePf(CntLinear(), []int{0, 8}, 1<<18)
 	if err != nil {
