@@ -1,0 +1,151 @@
+// Command nfvet is the repo's determinism lint suite and static boundness
+// auditor.
+//
+// As a vet tool it speaks the `go vet -vettool` protocol, running the four
+// determinism analyzers (wallclock, globalrand, maprange, statekey) over
+// every compilation unit, test files included:
+//
+//	go build -o bin/nfvet ./cmd/nfvet
+//	go vet -vettool=$PWD/bin/nfvet ./...
+//
+// Standalone subcommands:
+//
+//	nfvet check [packages]   lint the packages (non-test files) directly,
+//	                         without the go vet driver
+//	nfvet audit -all         audit every registered protocol's boundness
+//	nfvet audit altbit cntk4 audit specific protocols (replay names work:
+//	                         livelock, cntnobind, cheat<d>, cntk<k>)
+//	nfvet help               analyzer catalog
+//
+// The audit enumerates the joint control states (q_t, q_r) reachable under
+// bounded channel occupancy and checks each protocol's declared
+// protocol.Bounds: the k_t·k_r joint-state count Theorem 2.1's pumping
+// adversary exploits, and the bounded header alphabet Theorems 3.1/4.1
+// presuppose. Exit status is nonzero iff a lint finding or a FAIL verdict
+// was produced.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analyze"
+	"repro/internal/protocol"
+	"repro/internal/replay"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	if len(args) == 0 {
+		usage(errw)
+		return 2
+	}
+	switch args[0] {
+	case "check":
+		return runCheck(args[1:], out, errw)
+	case "audit":
+		return runAudit(args[1:], out, errw)
+	case "help", "-h", "-help", "--help":
+		usage(out)
+		for _, a := range analyze.Analyzers() {
+			fmt.Fprintf(out, "\n%s:\n  %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	// Anything else (-V=full, -flags, <unit>.cfg, analyzer-selection flags)
+	// is the go vet driver talking to us.
+	return analyze.VettoolMain("nfvet", analyze.Analyzers(), args)
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  nfvet check [packages]                      lint packages (default ./...)
+  nfvet audit [-all | names...] [options]     audit protocol boundness
+  nfvet help                                  analyzer catalog
+  go vet -vettool=/path/to/nfvet ./...        lint via the go vet driver
+`)
+}
+
+// runCheck lints the named packages (default ./...) with the standalone
+// loader. The go vet driver covers test files too; check is the quick path.
+func runCheck(args []string, out, errw io.Writer) int {
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(errw, "nfvet:", err)
+		return 2
+	}
+	pkgs, err := analyze.LoadPackages(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(errw, "nfvet:", err)
+		return 2
+	}
+	findings := 0
+	for _, p := range pkgs {
+		for _, d := range analyze.RunAnalyzers(analyze.Analyzers(), p.Fset, p.Files, p.Pkg, p.Info) {
+			fmt.Fprintln(out, d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(errw, "nfvet: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// runAudit audits the named protocols (or, with -all, every registered
+// protocol plus the broken specimens) and prints one report each.
+func runAudit(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("nfvet audit", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		all       = fs.Bool("all", false, "audit every registered protocol plus livelock and cntnobind")
+		occupancy = fs.Int("occupancy", 2, "max in-transit packets per channel")
+		maxStates = fs.Int("maxstates", 1<<16, "joint-state enumeration budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	names := fs.Args()
+	if *all {
+		names = append(protocol.Names(), "livelock", "cntnobind")
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(errw, "nfvet audit: name protocols or pass -all (known: "+
+			strings.Join(protocol.Names(), ", ")+", plus livelock, cntnobind, cheat<d>, cntk<k>)")
+		return 2
+	}
+
+	cfg := analyze.AuditConfig{Occupancy: *occupancy, MaxStates: *maxStates}
+	failed := 0
+	for i, name := range names {
+		p, err := replay.LookupProtocol(name)
+		if err != nil {
+			fmt.Fprintln(errw, "nfvet audit:", err)
+			return 2
+		}
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		rep := analyze.Audit(p, cfg)
+		fmt.Fprint(out, rep)
+		if rep.Verdict == analyze.VerdictFail {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(errw, "nfvet audit: %d protocol(s) FAIL their declared bounds\n", failed)
+		return 1
+	}
+	return 0
+}

@@ -14,11 +14,13 @@ import (
 func main() {
 	// The naive protocol (message i uses header i) over the paper's
 	// probabilistic physical layer: each packet is delayed with
-	// probability q = 0.25.
+	// probability q = 0.25. Each channel gets its own RNG stream derived
+	// from a single root seed, so the whole run replays from one number.
+	const root = 42
 	r := nonfifo.NewRunner(nonfifo.Config{
 		Protocol:    nonfifo.SeqNum(),
-		DataPolicy:  nonfifo.Probabilistic(0.25, rand.New(rand.NewSource(42))),
-		AckPolicy:   nonfifo.Probabilistic(0.25, rand.New(rand.NewSource(43))),
+		DataPolicy:  nonfifo.Probabilistic(0.25, rand.New(rand.NewSource(nonfifo.SplitSeed(root, "quickstart/data")))),
+		AckPolicy:   nonfifo.Probabilistic(0.25, rand.New(rand.NewSource(nonfifo.SplitSeed(root, "quickstart/ack")))),
 		RecordTrace: true,
 	})
 

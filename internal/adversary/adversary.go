@@ -20,6 +20,7 @@ package adversary
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/channel"
@@ -328,9 +329,11 @@ func HeaderBudget(p protocol.Protocol, copies, messages int, cfg ReplayConfig) (
 		headers[pk.Header] = true
 	}
 	hs := make([]string, 0, len(headers))
+	//nfvet:allow maprange (keys are collected then sorted before use)
 	for h := range headers {
 		hs = append(hs, h)
 	}
+	sort.Strings(hs)
 	rep, err := ReplaySearch(r, cfg)
 	if err != nil {
 		return HeaderBudgetReport{Bounded: true}, err

@@ -1,0 +1,83 @@
+package analyze
+
+import (
+	"go/ast"
+)
+
+// MapRangeAnalyzer forbids ranging over maps in the map-order-critical
+// packages. Go randomizes map iteration order per run, so a map range on
+// any path that feeds hashing (fuzz coverage points, corpus content
+// addresses), serialization (NFT/NFZI codecs, certificates) or state keys
+// makes the output run-dependent — exactly the nondeterminism the replay
+// and fuzzing stack cannot tolerate.
+//
+// Two rules:
+//
+//  1. In non-test files of the critical packages, every `range` over a
+//     map-typed expression is flagged. Sites that are genuinely
+//     order-insensitive (copying into another map, set membership
+//     accumulation, collect-then-sort) carry an explicit
+//     `//nfvet:allow maprange (reason)` justification.
+//
+//  2. Everywhere — including tests of any package — ranging directly over
+//     the result of a Registry() call is flagged: protocol.Registry()
+//     returns a map, and iterating it directly runs cases in a different
+//     order every execution. Use protocol.Names() and index the registry.
+func MapRangeAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "maprange",
+		Doc: "forbid map iteration on determinism-critical paths: no `range` over " +
+			"maps in internal/{mset,protocol,adversary,channel,core,fuzz,replay,sim,trace} " +
+			"non-test code (annotate provably order-insensitive sites with " +
+			"//nfvet:allow maprange), and no `range Registry()` anywhere — iterate " +
+			"protocol.Names() instead",
+		Run: runMapRange,
+	}
+}
+
+func runMapRange(pass *Pass) {
+	critical := inPackageSet(pass.Pkg.Path(), mapOrderCriticalPackages)
+	for _, f := range pass.Files {
+		testFile := isTestFile(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if call, ok := rng.X.(*ast.CallExpr); ok && isRegistryCall(call) && isMapType(pass.Info, rng.X) {
+				pass.Report(rng.Pos(), "ranging directly over %s iterates in random order; range protocol.Names() and index the registry", callName(call))
+				return true
+			}
+			if critical && !testFile && isMapType(pass.Info, rng.X) {
+				pass.Report(rng.Pos(), "map iteration order is randomized; iterate a sorted view, or annotate an order-insensitive site with //nfvet:allow maprange (reason)")
+			}
+			return true
+		})
+	}
+}
+
+// isRegistryCall matches calls whose callee is named Registry — the
+// conventional name for name→implementation maps in this codebase.
+func isRegistryCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "Registry"
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "Registry"
+	}
+	return false
+}
+
+// callName renders a call's callee for diagnostics (pkg.Fn() or Fn()).
+func callName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name + "()"
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name + "()"
+		}
+		return fun.Sel.Name + "()"
+	}
+	return "call"
+}

@@ -1,0 +1,68 @@
+package analyze
+
+import (
+	"go/ast"
+)
+
+// wallclockBanned lists the package-level time functions that read the
+// ambient clock or schedule on it. Pure constructors and arithmetic
+// (time.Duration, time.Unix, d.Seconds()) are fine — the lint targets reads
+// of *now*, which differ between a recording run and its replay.
+var wallclockBanned = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"Sleep":     "schedules on the wall clock",
+	"After":     "schedules on the wall clock",
+	"AfterFunc": "schedules on the wall clock",
+	"Tick":      "schedules on the wall clock",
+	"NewTicker": "schedules on the wall clock",
+	"NewTimer":  "schedules on the wall clock",
+}
+
+// WallclockAnalyzer forbids ambient-clock reads in the deterministic
+// packages. Campaign timing and rate reporting must flow through an
+// injectable clock seam (fuzz.Config.Clock); the seam's own default is the
+// one allowlisted call site (//nfvet:allow wallclock).
+func WallclockAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "wallclock",
+		Doc: "forbid time.Now/time.Since and friends in deterministic packages " +
+			"(internal/{adversary,channel,core,fuzz,replay,sim,trace}); replayed and " +
+			"fuzzed executions must not observe the ambient clock — inject a clock " +
+			"through configuration instead, and mark the injection seam's default " +
+			"with //nfvet:allow wallclock",
+		Run: runWallclock,
+	}
+}
+
+func runWallclock(pass *Pass) {
+	if !inPackageSet(pass.Pkg.Path(), deterministicPackages) {
+		return
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			// Tests may time themselves; determinism applies to the
+			// packages' library code.
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := importedPkgName(pass.Info, id)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			if why, banned := wallclockBanned[sel.Sel.Name]; banned {
+				pass.Report(sel.Pos(), "time.%s %s; deterministic packages must use an injected clock", sel.Sel.Name, why)
+			}
+			return true
+		})
+	}
+}

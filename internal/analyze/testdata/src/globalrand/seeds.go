@@ -1,0 +1,33 @@
+// Fixture: globalrand findings. The analyzer is module-wide, so the import
+// path does not matter; only test files are exempt.
+package gen
+
+import "math/rand"
+
+const fixedSeed = 99
+
+func Draw() int {
+	return rand.Intn(10) // want "rand.Intn uses the process-global source"
+}
+
+func Shuffled(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle uses the process-global source"
+}
+
+func Source() rand.Source {
+	return rand.NewSource(42) // want "rand.NewSource with a constant seed"
+}
+
+func NamedConstSource() rand.Source {
+	return rand.NewSource(fixedSeed) // want "rand.NewSource with a constant seed"
+}
+
+func Seeded(seed int64) *rand.Rand {
+	// The seed flowed from configuration: not flagged.
+	return rand.New(rand.NewSource(seed))
+}
+
+func DrawFrom(r *rand.Rand) int {
+	// An explicit *rand.Rand stream: not flagged.
+	return r.Intn(10)
+}

@@ -1,0 +1,15 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPinnedSeed(t *testing.T) {
+	// Tests legitimately pin literal seeds for reproducible cases.
+	r := rand.New(rand.NewSource(7))
+	if r.Intn(10) < 0 {
+		t.Fatal("impossible")
+	}
+	_ = rand.Intn(3)
+}

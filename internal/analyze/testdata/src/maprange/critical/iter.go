@@ -1,0 +1,35 @@
+// Fixture: map ranges in a map-order-critical package (the harness loads
+// this under an internal/trace import path).
+package trace
+
+import "sort"
+
+func Registry() map[string]int {
+	return map[string]int{"a": 1, "b": 2}
+}
+
+func Keys(m map[string]int) []string {
+	var out []string
+	//nfvet:allow maprange (keys are collected then sorted before use)
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "map iteration order is randomized"
+		total += v
+	}
+	return total
+}
+
+func SumSlice(xs []int) int {
+	total := 0
+	for _, v := range xs { // slices iterate in order: not flagged
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,29 @@
+// Fixture: outside the critical package set, plain map ranges are fine but
+// ranging a map-returning Registry() is flagged everywhere.
+package demo
+
+func Registry() map[string]bool {
+	return map[string]bool{"p": true}
+}
+
+type Catalog struct{}
+
+// Registry returns an ordered list, not a map; ranging it is fine.
+func (Catalog) Registry() []string { return []string{"p"} }
+
+func Run() int {
+	n := 0
+	for name := range Registry() { // want "ranging directly over Registry()"
+		_ = name
+		n++
+	}
+	var c Catalog
+	for _, name := range c.Registry() { // slice-returning Registry: not flagged
+		_ = name
+	}
+	m := map[string]bool{"q": false}
+	for k := range m { // not a critical package: not flagged
+		_ = k
+	}
+	return n
+}

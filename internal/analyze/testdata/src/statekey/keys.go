@@ -1,0 +1,75 @@
+// Fixture: statekey findings. The analyzer guards StateKey/ControlKey
+// method bodies in every package, including impurity reached transitively
+// through package-local helpers.
+package keys
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+type sprintfKey struct{ n int }
+
+func (s sprintfKey) StateKey() string {
+	return fmt.Sprintf("s{n=%d}", s.n) // want "StateKey calls fmt.Sprintf"
+}
+
+type mapKey struct{ counts map[string]int }
+
+func (m mapKey) StateKey() string {
+	var b strings.Builder
+	for k, v := range m.counts { // want "StateKey ranges over a map"
+		b.WriteString(k)
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+func keyf(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}
+
+type helperKey struct{ n int }
+
+func (h helperKey) StateKey() string {
+	return keyf("h{n=%d}", h.n) // want "StateKey calls keyf, which calls fmt.Sprintf"
+}
+
+func render(n int) string { return keyf("r{n=%d}", n) }
+
+type deepKey struct{ n int }
+
+func (d deepKey) ControlKey() string {
+	return render(d.n) // want "ControlKey calls render, which calls keyf, which calls fmt.Sprintf"
+}
+
+type randKey struct{}
+
+func (randKey) StateKey() string {
+	return strconv.FormatInt(rand.Int63(), 16) // want "state keys must not consume randomness" "rand.Int63 uses the process-global source"
+}
+
+type cleanKey struct {
+	n    int
+	tags []string
+}
+
+func (c cleanKey) StateKey() string {
+	// Direct byte appends and slice iteration: not flagged.
+	var b strings.Builder
+	b.WriteString("c{n=")
+	b.WriteString(strconv.Itoa(c.n))
+	for _, tag := range c.tags {
+		b.WriteByte(' ')
+		b.WriteString(tag)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// describe is not a state-key method; fmt formatting here is fine.
+func describe(c cleanKey) string {
+	return fmt.Sprintf("cleanKey(%d)", c.n)
+}

@@ -1,0 +1,37 @@
+// Fixture: wallclock findings in a deterministic package (the import path
+// used by the harness ends in internal/fuzz, which is in scope).
+package fuzz
+
+import "time"
+
+type Config struct {
+	Clock func() time.Time
+}
+
+func (c *Config) withDefaults() {
+	if c.Clock == nil {
+		c.Clock = time.Now //nfvet:allow wallclock (the injectable clock seam's default)
+	}
+}
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func nap() {
+	time.Sleep(time.Millisecond) // want "time.Sleep schedules on the wall clock"
+}
+
+func ticker() {
+	t := time.NewTicker(time.Second) // want "time.NewTicker schedules on the wall clock"
+	t.Stop()
+}
+
+func pure() time.Time {
+	// Constructors and arithmetic do not read the ambient clock: not flagged.
+	return time.Unix(0, 0).Add(3 * time.Second)
+}

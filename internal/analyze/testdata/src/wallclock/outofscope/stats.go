@@ -1,0 +1,9 @@
+// Fixture: the same calls outside the deterministic package set (the
+// harness loads this under an internal/stats import path) are not flagged.
+package stats
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+
+func Nap() { time.Sleep(time.Millisecond) }

@@ -95,6 +95,7 @@ func (r E2dResult) HistoryTable() *Table {
 	}
 	for _, ph := range r.AltbitHistory {
 		hs := make([]string, 0, len(ph.Counts))
+		//nfvet:allow maprange (keys are collected then sorted before use)
 		for h := range ph.Counts {
 			hs = append(hs, h)
 		}

@@ -147,7 +147,8 @@ func RunSelected(w io.Writer, scale Scale, render Renderer, only []string) error
 	for _, s := range steps {
 		known[s.name] = true
 	}
-	for id := range want {
+	// Validate in the caller's order so the reported unknown id is stable.
+	for _, id := range only {
 		if !known[id] {
 			return fmt.Errorf("unknown experiment %q", id)
 		}

@@ -2,6 +2,7 @@ package explore
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -394,7 +395,17 @@ func (t *blindAckT) Clone() protocol.Transmitter {
 }
 
 func (t *blindAckT) StateKey() string {
-	return fmt.Sprintf("blindAckT{bit=%d busy=%t payload=%q q=%v}", t.bit, t.busy, t.payload, t.queue)
+	var b strings.Builder
+	b.WriteString("blindAckT{bit=")
+	b.WriteString(strconv.Itoa(t.bit))
+	b.WriteString(" busy=")
+	b.WriteString(strconv.FormatBool(t.busy))
+	b.WriteString(" payload=")
+	b.WriteString(strconv.Quote(t.payload))
+	b.WriteString(" q=[")
+	b.WriteString(strings.Join(t.queue, " "))
+	b.WriteString("]}")
+	return b.String()
 }
 
 func (t *blindAckT) StateSize() int { return 2 + len(t.payload) }

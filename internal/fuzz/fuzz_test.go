@@ -235,7 +235,9 @@ func TestFindsLivelockDL3(t *testing.T) {
 // attack composition (strand a copy, then re-deliver it late) must come out
 // of the mutation search, not out of the initial corpus.
 func TestSeedsAreBenign(t *testing.T) {
-	for name, proto := range protocol.Registry() {
+	reg := protocol.Registry()
+	for _, name := range protocol.Names() {
+		proto := reg[name]
 		for i, in := range SeedInputs() {
 			if res := Execute(proto, in, false); res.Verdict != nil {
 				t.Errorf("seed %d violates %s on %s", i, res.Verdict.Property, name)

@@ -110,6 +110,7 @@ func (m *Multiset[T]) Clone() *Multiset[T] {
 		less:   m.less,
 		size:   m.size,
 	}
+	//nfvet:allow maprange (order-insensitive copy into another map)
 	for k, v := range m.counts {
 		c.counts[k] = v
 	}
@@ -122,6 +123,7 @@ func (m *Multiset[T]) Equal(o *Multiset[T]) bool {
 	if m.size != o.size || len(m.counts) != len(o.counts) {
 		return false
 	}
+	//nfvet:allow maprange (order-insensitive membership comparison)
 	for k, v := range m.counts {
 		if o.counts[k] != v {
 			return false
@@ -136,6 +138,7 @@ func (m *Multiset[T]) Contains(o *Multiset[T]) bool {
 	if o.size > m.size {
 		return false
 	}
+	//nfvet:allow maprange (order-insensitive membership comparison)
 	for k, v := range o.counts {
 		if m.counts[k] < v {
 			return false

@@ -29,6 +29,14 @@ func (AltBit) Name() string { return "altbit" }
 // HeaderBound implements Protocol. The alphabet is {d0, d1, a0, a1}.
 func (AltBit) HeaderBound() (int, bool) { return 4, true }
 
+// Bounds implements Bounded. Under the audit's submit discipline (a message
+// is submitted only when the transmitter is idle, with the paper's
+// all-messages-identical payload) the transmitter's control states are
+// bit × busy = 4 and the receiver's are expect = 2; this finiteness is what
+// makes the alternating bit protocol subject to Theorem 2.1's k_t·k_r
+// pumping bound — and to the replay attack that breaks it.
+func (AltBit) Bounds() Bounds { return Bounds{StateBounded: true, KT: 4, KR: 2, Headers: 4} }
+
 // New implements Protocol. The genies are ignored: the alternating bit
 // protocol has no channel oracle (which is exactly why it is unsafe here).
 func (AltBit) New(_, _ channel.Genie) (Transmitter, Receiver) {

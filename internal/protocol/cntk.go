@@ -1,7 +1,6 @@
 package protocol
 
 import (
-	"sort"
 	"strconv"
 
 	"repro/internal/channel"
@@ -46,6 +45,18 @@ func (p CntK) Name() string { return "cntk" + strconv.Itoa(p.K) }
 
 // HeaderBound implements Protocol: K data + K ack headers.
 func (p CntK) HeaderBound() (int, bool) { return 2 * p.K, true }
+
+// Bounds implements Bounded: the endpoints read their phase counters only
+// modulo K (see the ControlKey methods), and every other counter is capped
+// by the in-transit occupancy, so the joint control space under bounded
+// occupancy is finite with at most 2K distinct headers.
+func (p CntK) Bounds() Bounds {
+	k := p.K
+	if k < 2 {
+		k = 2
+	}
+	return Bounds{StateBounded: true, Headers: 2 * k}
+}
 
 // New implements Protocol.
 func (p CntK) New(dataGenie, ackGenie channel.Genie) (Transmitter, Receiver) {
@@ -146,6 +157,17 @@ func (t *cntkT) StateKey() string {
 		s(" q=").queue(t.queue).s("}").done()
 }
 
+// ControlKey implements ControlKeyer: the absolute phase counter is
+// quotiented to phase mod K. Bisimulation argument: t.phase is read only by
+// cntkDataHeader/cntkAckHeader, both of which take it mod K, so two
+// transmitter states that agree on everything but a multiple-of-K phase
+// shift emit the same packets and react identically to the same inputs.
+func (t *cntkT) ControlKey() string {
+	return key("cntk").d(t.k).s("T{phase=").d(t.phase % t.k).s(" busy=").t(t.busy).
+		s(" payload=").q(t.payload).s(" stale=").d(t.ackStale).s(" fresh=").d(t.ackFresh).
+		s(" q=").queue(t.queue).s("}").done()
+}
+
 func (t *cntkT) StateSize() int {
 	return 1 + len(t.payload) + queueBytes(t.queue) +
 		len(strconv.Itoa(t.phase)) + len(strconv.Itoa(t.ackStale)) + len(strconv.Itoa(t.ackFresh))
@@ -159,7 +181,7 @@ type cntkR struct {
 	accepted     int // number of accepted phases; expects header accepted mod K
 	lastAccepted int // phase index of the most recent acceptance; -1 before any
 	staleSnap    int
-	fresh        map[string]int
+	fresh        payloadCounts
 
 	delivered []string
 	acks      []ioa.Packet
@@ -178,14 +200,13 @@ func (r *cntkR) SetDataGenie(g channel.Genie) {
 
 func (r *cntkR) snapshot() {
 	r.staleSnap = r.dataGenie.Stale(cntkDataHeader(r.k, r.accepted))
-	r.fresh = make(map[string]int)
+	r.fresh = nil
 }
 
 func (r *cntkR) DeliverPkt(p ioa.Packet) {
 	switch {
 	case p.Header == cntkDataHeader(r.k, r.accepted):
-		r.fresh[p.Payload]++
-		if r.fresh[p.Payload] > r.staleSnap {
+		if r.fresh.inc(p.Payload) > r.staleSnap {
 			r.delivered = append(r.delivered, p.Payload)
 			r.lastAccepted = r.accepted
 			r.accepted++
@@ -225,32 +246,36 @@ func (r *cntkR) Clone() Receiver {
 	} else {
 		c.acks = nil
 	}
-	c.fresh = make(map[string]int, len(r.fresh))
-	for k, v := range r.fresh {
-		c.fresh[k] = v
-	}
+	c.fresh = r.fresh.clone()
 	return &c
 }
 
 func (r *cntkR) StateKey() string {
-	keys := make([]string, 0, len(r.fresh))
-	for k := range r.fresh {
-		keys = append(keys, k)
+	return key("cntk").d(r.k).s("R{accepted=").d(r.accepted).s(" last=").d(r.lastAccepted).
+		s(" stale=").d(r.staleSnap).s(" fresh=").payloads(r.fresh).
+		s(" pendAcks=").d(len(r.acks)).s("}").done()
+}
+
+// ControlKey implements ControlKeyer: the accepted and lastAccepted phase
+// counters are quotiented mod K. Bisimulation argument: both counters are
+// read only through cntkDataHeader/cntkAckHeader (mod K); lastAccepted's
+// "-1 = nothing accepted yet" sentinel is preserved since it gates the
+// re-acknowledgement branch.
+func (r *cntkR) ControlKey() string {
+	last := r.lastAccepted
+	if last >= 0 {
+		last %= r.k
 	}
-	sort.Strings(keys)
-	b := key("cntk").d(r.k).s("R{accepted=").d(r.accepted).s(" last=").d(r.lastAccepted).
-		s(" stale=").d(r.staleSnap).s(" fresh=")
-	for _, k := range keys {
-		b.s(k).s("=").d(r.fresh[k]).s(";")
-	}
-	return b.s(" pendAcks=").d(len(r.acks)).s("}").done()
+	return key("cntk").d(r.k).s("R{accepted=").d(r.accepted % r.k).s(" last=").d(last).
+		s(" stale=").d(r.staleSnap).s(" fresh=").payloads(r.fresh).
+		s(" pendAcks=").d(len(r.acks)).s("}").done()
 }
 
 func (r *cntkR) StateSize() int {
 	n := 2 + len(r.acks) + queueBytes(r.delivered)
 	n += len(strconv.Itoa(r.accepted)) + len(strconv.Itoa(r.staleSnap))
-	for k, v := range r.fresh {
-		n += len(k) + len(strconv.Itoa(v))
+	for _, e := range r.fresh {
+		n += len(e.payload) + len(strconv.Itoa(e.n))
 	}
 	return n
 }

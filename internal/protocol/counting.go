@@ -1,7 +1,6 @@
 package protocol
 
 import (
-	"sort"
 	"strconv"
 
 	"repro/internal/channel"
@@ -76,6 +75,12 @@ func (CntLinear) Name() string { return "cntlinear" }
 // HeaderBound implements Protocol: {c0, c1, k0, k1}.
 func (CntLinear) HeaderBound() (int, bool) { return 4, true }
 
+// Bounds implements Bounded: with the ever/sent metrics counters quotiented
+// away (see the ControlKey methods — modeLinear never reads them), every
+// remaining component is capped by the channel occupancy, so the control
+// space under bounded occupancy is finite.
+func (CntLinear) Bounds() Bounds { return Bounds{StateBounded: true, Headers: 4} }
+
 // New implements Protocol.
 func (CntLinear) New(dataGenie, ackGenie channel.Genie) (Transmitter, Receiver) {
 	return newCountingPair(modeLinear, 0, dataGenie, ackGenie)
@@ -92,6 +97,13 @@ func (CntExp) Name() string { return "cntexp" }
 
 // HeaderBound implements Protocol: {c0, c1, k0, k1}.
 func (CntExp) HeaderBound() (int, bool) { return 4, true }
+
+// Bounds implements Bounded: the pessimistic thresholds *read* the ever
+// counters (startPhase/snapshot take the max with them), so no finite
+// control quotient exists — the acceptance threshold itself grows without
+// bound with channel history. Declared unbounded; the auditor verifies the
+// enumeration indeed blows past any fixed state budget.
+func (CntExp) Bounds() Bounds { return Bounds{StateBounded: false, Headers: 4} }
 
 // New implements Protocol.
 func (CntExp) New(dataGenie, ackGenie channel.Genie) (Transmitter, Receiver) {
@@ -118,6 +130,10 @@ func (c Cheat) Name() string { return "cheat" + strconv.Itoa(c.D) }
 // HeaderBound implements Protocol: {c0, c1, k0, k1}.
 func (Cheat) HeaderBound() (int, bool) { return 4, true }
 
+// Bounds implements Bounded: same control quotient as cntlinear — the
+// lowered threshold breaks DL1, not boundness.
+func (Cheat) Bounds() Bounds { return Bounds{StateBounded: true, Headers: 4} }
+
 // New implements Protocol.
 func (c Cheat) New(dataGenie, ackGenie channel.Genie) (Transmitter, Receiver) {
 	return newCountingPair(modeCheat, c.D, dataGenie, ackGenie)
@@ -141,6 +157,10 @@ func (CntNoBind) Name() string { return "cntnobind" }
 
 // HeaderBound implements Protocol: {c0, c1, k0, k1}.
 func (CntNoBind) HeaderBound() (int, bool) { return 4, true }
+
+// Bounds implements Bounded: the pooled counter makes the receiver strictly
+// smaller than cntlinear's; boundness is unaffected by the ablation.
+func (CntNoBind) Bounds() Bounds { return Bounds{StateBounded: true, Headers: 4} }
 
 // New implements Protocol.
 func (CntNoBind) New(dataGenie, ackGenie channel.Genie) (Transmitter, Receiver) {
@@ -255,6 +275,22 @@ func (t *countingT) StateKey() string {
 		s(" ever=").pair(t.ackEver).s(" q=").queue(t.queue).s("}").done()
 }
 
+// ControlKey implements ControlKeyer: the sent metrics counters are always
+// dropped (nothing reads them), and the ackEver history counters are
+// dropped except in modeExp, where startPhase folds them into the
+// acceptance threshold and they are genuinely part of the control state.
+// Bisimulation argument for the non-exp modes: ackEver is written in
+// DeliverPkt but read only under t.mode == modeExp, so states differing
+// only in ackEver/sent step identically.
+func (t *countingT) ControlKey() string {
+	b := key(t.mode.String()).s("T{bit=").d(t.bit).s(" busy=").t(t.busy).
+		s(" payload=").q(t.payload).s(" stale=").d(t.ackStale).s(" fresh=").d(t.ackFresh)
+	if t.mode == modeExp {
+		b.s(" ever=").pair(t.ackEver)
+	}
+	return b.s(" q=").queue(t.queue).s("}").done()
+}
+
 // StateSize counts the counter words the automaton must record; the
 // counters grow with channel history, which is the unbounded space of
 // Theorem 3.1 made visible.
@@ -278,7 +314,7 @@ type countingR struct {
 	expect       int // phase bit the receiver is waiting for
 	lastAccepted int // bit of the most recently accepted phase; -1 before any
 	staleSnap    int // stale data copies of the expected bit at snapshot
-	fresh        map[string]int
+	fresh        payloadCounts
 	recvEver     [2]int
 
 	delivered []string
@@ -294,7 +330,7 @@ func (r *countingR) snapshot() {
 	if r.mode == modeExp && r.recvEver[r.expect] > r.staleSnap {
 		r.staleSnap = r.recvEver[r.expect]
 	}
-	r.fresh = make(map[string]int)
+	r.fresh = nil
 }
 
 // SetDataGenie implements DataGenieUser.
@@ -336,8 +372,7 @@ func (r *countingR) DeliverPkt(p ioa.Packet) {
 			// crossing copy's payload — fresh or stale — gets delivered.
 			counter = "*"
 		}
-		r.fresh[counter]++
-		if r.fresh[counter] > r.threshold() {
+		if r.fresh.inc(counter) > r.threshold() {
 			// Proven fresh: accept the phase and deliver.
 			r.delivered = append(r.delivered, p.Payload)
 			r.lastAccepted = bit
@@ -380,26 +415,27 @@ func (r *countingR) Clone() Receiver {
 	} else {
 		c.acks = nil
 	}
-	c.fresh = make(map[string]int, len(r.fresh))
-	for k, v := range r.fresh {
-		c.fresh[k] = v
-	}
+	c.fresh = r.fresh.clone()
 	return &c
 }
 
 func (r *countingR) StateKey() string {
-	// Render the fresh map deterministically.
-	keys := make([]string, 0, len(r.fresh))
-	for k := range r.fresh {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+	return key(r.mode.String()).s("R{expect=").d(r.expect).s(" last=").d(r.lastAccepted).
+		s(" stale=").d(r.staleSnap).s(" fresh=").payloads(r.fresh).
+		s(" ever=").pair(r.recvEver).s(" pendAcks=").d(len(r.acks)).s("}").done()
+}
+
+// ControlKey implements ControlKeyer: the recvEver history counters are
+// dropped except in modeExp, where snapshot folds them into the stale
+// threshold. Bisimulation argument mirrors countingT.ControlKey: outside
+// modeExp, recvEver is write-only.
+func (r *countingR) ControlKey() string {
 	b := key(r.mode.String()).s("R{expect=").d(r.expect).s(" last=").d(r.lastAccepted).
-		s(" stale=").d(r.staleSnap).s(" fresh=")
-	for _, k := range keys {
-		b.s(k).s("=").d(r.fresh[k]).s(";")
+		s(" stale=").d(r.staleSnap).s(" fresh=").payloads(r.fresh)
+	if r.mode == modeExp {
+		b.s(" ever=").pair(r.recvEver)
 	}
-	return b.s(" ever=").pair(r.recvEver).s(" pendAcks=").d(len(r.acks)).s("}").done()
+	return b.s(" pendAcks=").d(len(r.acks)).s("}").done()
 }
 
 // StateSize counts the counter words recorded by the receiver; as for the
@@ -409,8 +445,8 @@ func (r *countingR) StateSize() int {
 	n := 2 + len(r.acks) + queueBytes(r.delivered)
 	n += len(strconv.Itoa(r.staleSnap))
 	n += len(strconv.Itoa(r.recvEver[0])) + len(strconv.Itoa(r.recvEver[1]))
-	for k, v := range r.fresh {
-		n += len(k) + len(strconv.Itoa(v))
+	for _, e := range r.fresh {
+		n += len(e.payload) + len(strconv.Itoa(e.n))
 	}
 	return n
 }

@@ -22,6 +22,11 @@ func (Livelock) Name() string { return "livelock" }
 // HeaderBound implements Protocol: the alphabet is {x}.
 func (Livelock) HeaderBound() (int, bool) { return 1, true }
 
+// Bounds implements Bounded: two transmitter states, one receiver state,
+// one header — the minimal bounded protocol, and the shape Theorem 2.1's
+// k_t·k_r pumping bound bites hardest on.
+func (Livelock) Bounds() Bounds { return Bounds{StateBounded: true, KT: 2, KR: 1, Headers: 1} }
+
 // New implements Protocol.
 func (Livelock) New(_, _ channel.Genie) (Transmitter, Receiver) {
 	return &livelockT{}, &livelockR{}
@@ -43,8 +48,15 @@ func (t *livelockT) NextPkt() (ioa.Packet, bool) {
 
 func (t *livelockT) Busy() bool         { return t.busy }
 func (t *livelockT) Clone() Transmitter { c := *t; return &c }
-func (t *livelockT) StateKey() string   { return keyf("livelockT{busy=%t}", t.busy) }
-func (t *livelockT) StateSize() int     { return 1 }
+
+func (t *livelockT) StateKey() string {
+	if t.busy {
+		return "livelockT{busy=true}"
+	}
+	return "livelockT{busy=false}"
+}
+
+func (t *livelockT) StateSize() int { return 1 }
 
 type livelockR struct{}
 

@@ -33,7 +33,6 @@
 package protocol
 
 import (
-	"fmt"
 	"sort"
 	"strconv"
 	"strings"
@@ -104,6 +103,57 @@ type Protocol interface {
 	New(dataGenie, ackGenie channel.Genie) (Transmitter, Receiver)
 }
 
+// Bounds declares a protocol's expected state-complexity envelope. The
+// static boundness auditor (internal/analyze, `nfvet audit`) enumerates the
+// joint control states reachable under bounded channel occupancy and checks
+// the observation against this declaration: a protocol declared
+// StateBounded whose enumeration exceeds the state budget fails the audit,
+// as does one declared unbounded whose reachable control space turns out
+// finite (the declaration would be understating the protocol, and with it
+// the paper's Theorem 2.1 pumping argument would apply after all).
+type Bounds struct {
+	// StateBounded declares whether the joint control-state space
+	// (q_t, q_r) reachable under bounded channel occupancy is finite.
+	StateBounded bool
+	// KT and KR, when nonzero, are ceilings on the distinct transmitter
+	// and receiver control states the audit may observe — the k_t and k_r
+	// of Theorem 2.1's k_t·k_r execution-length bound. Zero means
+	// "bounded, but no exact ceiling declared".
+	KT, KR int
+	// Headers, when nonzero, is a ceiling on the distinct packet headers
+	// the audit may observe in transit. For protocols with a bounded
+	// HeaderBound the audit additionally checks Headers against it
+	// (Theorem 3.1/4.1 precondition: a fixed h-letter alphabet).
+	Headers int
+}
+
+// Bounded is an optional Protocol extension declaring the expected bounds
+// for the static auditor. Protocols that do not implement it are audited
+// with no declaration to check against (observations are reported only).
+type Bounded interface {
+	Bounds() Bounds
+}
+
+// ControlKeyer is an optional endpoint extension returning the *control
+// state* key: StateKey quotiented by bookkeeping that grows without bound
+// but never influences behavior — a phase counter the automaton only reads
+// modulo k, or metrics counters. The boundness auditor enumerates control
+// keys, so an implementation carries a proof obligation (a bisimulation):
+// two endpoint states with equal ControlKey must produce identical observable
+// behavior, and ControlKey-equal successors, under every input.
+type ControlKeyer interface {
+	ControlKey() string
+}
+
+// ControlKeyOf returns the endpoint's control key, falling back to the full
+// StateKey for endpoints without a declared quotient.
+func ControlKeyOf(endpoint interface{ StateKey() string }) string {
+	if ck, ok := endpoint.(ControlKeyer); ok {
+		return ck.ControlKey()
+	}
+	return endpoint.StateKey()
+}
+
 // AckGenieUser is implemented by transmitters that consult a stale-copy
 // oracle for the r→t channel. When an endpoint is cloned into a forked
 // execution (sim.Runner.Fork), the harness rebinds the genie to the forked
@@ -141,15 +191,13 @@ func Registry() map[string]Protocol {
 func Names() []string {
 	m := Registry()
 	out := make([]string, 0, len(m))
+	//nfvet:allow maprange (keys are collected then sorted before use)
 	for k := range m {
 		out = append(out, k)
 	}
 	sort.Strings(out)
 	return out
 }
-
-// keyf builds canonical state keys.
-func keyf(format string, args ...any) string { return fmt.Sprintf(format, args...) }
 
 // keyBuf assembles state keys by direct append. StateKey sits on the hot
 // path of both the adversary search and the fuzzer's coverage signal (two
@@ -182,6 +230,52 @@ func (k *keyBuf) queue(q []string) *keyBuf {
 }
 
 func (k *keyBuf) done() string { return string(k.buf) }
+
+// payloadCounts is a deterministic multiset of per-payload receipt counts:
+// a sorted assoc slice, so that rendering it into a state key needs no
+// collect-then-sort pass and no map iteration. The counting receivers keep
+// one entry per distinct payload seen in the current phase; entries reset
+// with the phase (assign nil).
+type payloadCounts []payloadCount
+
+type payloadCount struct {
+	payload string
+	n       int
+}
+
+// inc bumps the count for payload, keeping the slice sorted, and returns
+// the new count.
+func (pc *payloadCounts) inc(payload string) int {
+	s := *pc
+	i := sort.Search(len(s), func(i int) bool { return s[i].payload >= payload })
+	if i < len(s) && s[i].payload == payload {
+		s[i].n++
+		return s[i].n
+	}
+	s = append(s, payloadCount{})
+	copy(s[i+1:], s[i:])
+	s[i] = payloadCount{payload: payload, n: 1}
+	*pc = s
+	return 1
+}
+
+// clone deep-copies the counts.
+func (pc payloadCounts) clone() payloadCounts {
+	if len(pc) == 0 {
+		return nil
+	}
+	out := make(payloadCounts, len(pc))
+	copy(out, pc)
+	return out
+}
+
+// payloads renders the counts as "p=n;" runs (already sorted).
+func (k *keyBuf) payloads(pc payloadCounts) *keyBuf {
+	for _, e := range pc {
+		k.s(e.payload).s("=").d(e.n).s(";")
+	}
+	return k
+}
 
 // joinQueue encodes a payload queue into a state key component.
 func joinQueue(q []string) string { return strings.Join(q, "|") }

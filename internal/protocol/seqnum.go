@@ -32,6 +32,12 @@ func (SeqNum) Name() string { return "seqnum" }
 // HeaderBound implements Protocol: the alphabet is unbounded.
 func (SeqNum) HeaderBound() (int, bool) { return 0, false }
 
+// Bounds implements Bounded: the sequence counter is real control state
+// (headers are derived from it), so the reachable control space and the
+// header alphabet both grow with the number of messages. This is the
+// protocol's escape from Theorem 2.1 — no finite k_t·k_r exists to pump.
+func (SeqNum) Bounds() Bounds { return Bounds{StateBounded: false} }
+
 // New implements Protocol; the genies are ignored (no oracle needed).
 func (SeqNum) New(_, _ channel.Genie) (Transmitter, Receiver) {
 	return &seqNumT{}, &seqNumR{}

@@ -145,6 +145,7 @@ func redrive(l *trace.Log) (*redriven, error) {
 	}
 
 	rd := &redriven{log: trace.NewLog(nil)}
+	//nfvet:allow maprange (order-insensitive copy into another map)
 	for k, v := range l.Meta {
 		rd.log.SetMeta(k, v)
 	}

@@ -129,6 +129,7 @@ func shrinkWith(l *trace.Log, o oracle, res *ShrinkResult) (*ShrinkResult, error
 	prelude, groups := segment(l)
 	candidate := func(keep []group) *trace.Log {
 		c := trace.NewLog(nil)
+		//nfvet:allow maprange (order-insensitive copy into another map)
 		for k, v := range l.Meta {
 			c.SetMeta(k, v)
 		}

@@ -218,6 +218,7 @@ func (r *Runner) Fork(data, ack channel.Policy) *Runner {
 		curMsg:    r.curMsg,
 	}
 	f.metrics.DataPacketsPerMessage = append([]int(nil), r.metrics.DataPacketsPerMessage...)
+	//nfvet:allow maprange (order-insensitive copy into another set)
 	for h := range r.headers {
 		f.headers[h] = true
 	}

@@ -26,8 +26,9 @@ func runProtocol(t *testing.T, p protocol.Protocol, n int, cfgMod func(*Config))
 }
 
 func TestAllProtocolsValidOverReliableChannel(t *testing.T) {
-	for _, p := range protocol.Registry() {
-		p := p
+	reg := protocol.Registry()
+	for _, name := range protocol.Names() {
+		p := reg[name]
 		t.Run(p.Name(), func(t *testing.T) {
 			res := runProtocol(t, p, 10, nil)
 			if len(res.Delivered) != 10 {
@@ -79,8 +80,9 @@ func TestLossySafetyAndLiveness(t *testing.T) {
 	// Drop every 3rd packet on both channels; every registry protocol
 	// must still deliver all messages with a valid trace. (DropEvery is
 	// deterministic, so the run is reproducible.)
-	for _, p := range protocol.Registry() {
-		p := p
+	reg := protocol.Registry()
+	for _, name := range protocol.Names() {
+		p := reg[name]
 		t.Run(p.Name(), func(t *testing.T) {
 			res := runProtocol(t, p, 6, func(c *Config) {
 				c.DataPolicy = channel.DropEvery(3)
@@ -99,8 +101,9 @@ func TestLossySafetyAndLiveness(t *testing.T) {
 func TestProbabilisticChannelSafetyAndLiveness(t *testing.T) {
 	// The probabilistic physical layer (PL2p) with q=0.3 on data, q=0.2 on
 	// acks. Counting protocols must survive the accumulating stale copies.
-	for _, p := range protocol.Registry() {
-		p := p
+	reg := protocol.Registry()
+	for _, name := range protocol.Names() {
+		p := reg[name]
 		t.Run(p.Name(), func(t *testing.T) {
 			res := runProtocol(t, p, 6, func(c *Config) {
 				c.DataPolicy = channel.Probabilistic(0.3, rand.New(rand.NewSource(7)))

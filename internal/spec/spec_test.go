@@ -142,7 +142,9 @@ func TestCrossValidationOnValidTraces(t *testing.T) {
 		func() channel.Policy { return channel.DelayFirst(4) },
 		func() channel.Policy { return channel.Probabilistic(0.3, rand.New(rand.NewSource(17))) },
 	}
-	for _, p := range protocol.Registry() {
+	reg := protocol.Registry()
+	for _, name := range protocol.Names() {
+		p := reg[name]
 		for _, mk := range policies {
 			tr := protocolTrace(t, p, 5, mk())
 			iov := ioa.CheckValid(tr)

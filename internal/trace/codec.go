@@ -53,6 +53,7 @@ func NewWriter(w io.Writer, meta map[string]string) (*Writer, error) {
 		return nil, err
 	}
 	keys := make([]string, 0, len(meta))
+	//nfvet:allow maprange (keys are collected then sorted before use)
 	for k := range meta {
 		keys = append(keys, k)
 	}

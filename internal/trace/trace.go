@@ -28,6 +28,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -207,6 +208,7 @@ type Log struct {
 // NewLog returns an empty log with the given metadata (which may be nil).
 func NewLog(meta map[string]string) *Log {
 	m := make(map[string]string, len(meta))
+	//nfvet:allow maprange (order-insensitive copy into another map)
 	for k, v := range meta {
 		m[k] = v
 	}
@@ -288,11 +290,18 @@ func (l *Log) Decisions(d ioa.Dir) []Decision {
 	return out
 }
 
-// String renders the log one event per line, for diagnostics.
+// String renders the log one event per line, for diagnostics. Metadata is
+// rendered in sorted key order so the output is byte-stable across runs.
 func (l *Log) String() string {
 	var b strings.Builder
-	for k, v := range l.Meta {
-		fmt.Fprintf(&b, "# %s = %s\n", k, v)
+	keys := make([]string, 0, len(l.Meta))
+	//nfvet:allow maprange (keys are collected then sorted before use)
+	for k := range l.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "# %s = %s\n", k, l.Meta[k])
 	}
 	for i, e := range l.Events {
 		fmt.Fprintf(&b, "%4d  %s\n", i, e)

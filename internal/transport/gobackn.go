@@ -144,11 +144,26 @@ func (t *gbnSender) Clone() protocol.Transmitter {
 
 func (t *gbnSender) StateKey() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "gbnS{s=%d w=%d base=%d next=%d rr=%d segs=", t.s, t.w, t.base, t.next, t.rr)
+	b.WriteString("gbnS{s=")
+	b.WriteString(strconv.Itoa(t.s))
+	b.WriteString(" w=")
+	b.WriteString(strconv.Itoa(t.w))
+	b.WriteString(" base=")
+	b.WriteString(strconv.Itoa(t.base))
+	b.WriteString(" next=")
+	b.WriteString(strconv.Itoa(t.next))
+	b.WriteString(" rr=")
+	b.WriteString(strconv.Itoa(t.rr))
+	b.WriteString(" segs=")
 	for _, sg := range t.segs {
-		fmt.Fprintf(&b, "%d:%s;", sg.seq, sg.payload)
+		b.WriteString(strconv.Itoa(sg.seq))
+		b.WriteByte(':')
+		b.WriteString(sg.payload)
+		b.WriteByte(';')
 	}
-	fmt.Fprintf(&b, " q=%s}", strings.Join(t.queue, "|"))
+	b.WriteString(" q=")
+	b.WriteString(strings.Join(t.queue, "|"))
+	b.WriteByte('}')
 	return b.String()
 }
 
@@ -225,8 +240,17 @@ func (r *gbnReceiver) Clone() protocol.Receiver {
 }
 
 func (r *gbnReceiver) StateKey() string {
-	return fmt.Sprintf("gbnR{s=%d next=%d pendAcks=%d pendDeliv=%d}",
-		r.s, r.next, len(r.acks), len(r.delivered))
+	var b strings.Builder
+	b.WriteString("gbnR{s=")
+	b.WriteString(strconv.Itoa(r.s))
+	b.WriteString(" next=")
+	b.WriteString(strconv.Itoa(r.next))
+	b.WriteString(" pendAcks=")
+	b.WriteString(strconv.Itoa(len(r.acks)))
+	b.WriteString(" pendDeliv=")
+	b.WriteString(strconv.Itoa(len(r.delivered)))
+	b.WriteByte('}')
+	return b.String()
 }
 
 func (r *gbnReceiver) StateSize() int {

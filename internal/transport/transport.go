@@ -85,7 +85,7 @@ func (p SlidingWindow) New(_, _ channel.Genie) (protocol.Transmitter, protocol.R
 	if w < 1 {
 		w = 1
 	}
-	return &swSender{s: p.S, w: w}, &swReceiver{s: p.S, w: w, buf: make(map[int]string)}
+	return &swSender{s: p.S, w: w}, &swReceiver{s: p.S, w: w}
 }
 
 func dataHeader(s, seq int) string {
@@ -194,11 +194,28 @@ func (t *swSender) Clone() protocol.Transmitter {
 
 func (t *swSender) StateKey() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "swS{s=%d w=%d base=%d next=%d rr=%d segs=", t.s, t.w, t.base, t.next, t.rr)
+	b.WriteString("swS{s=")
+	b.WriteString(strconv.Itoa(t.s))
+	b.WriteString(" w=")
+	b.WriteString(strconv.Itoa(t.w))
+	b.WriteString(" base=")
+	b.WriteString(strconv.Itoa(t.base))
+	b.WriteString(" next=")
+	b.WriteString(strconv.Itoa(t.next))
+	b.WriteString(" rr=")
+	b.WriteString(strconv.Itoa(t.rr))
+	b.WriteString(" segs=")
 	for _, sg := range t.segs {
-		fmt.Fprintf(&b, "%d:%s:%t;", sg.seq, sg.payload, sg.acked)
+		b.WriteString(strconv.Itoa(sg.seq))
+		b.WriteByte(':')
+		b.WriteString(sg.payload)
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatBool(sg.acked))
+		b.WriteByte(';')
 	}
-	fmt.Fprintf(&b, " q=%s}", strings.Join(t.queue, "|"))
+	b.WriteString(" q=")
+	b.WriteString(strings.Join(t.queue, "|"))
+	b.WriteByte('}')
 	return b.String()
 }
 
@@ -219,9 +236,59 @@ func (t *swSender) StateSize() int {
 type swReceiver struct {
 	s, w      int
 	next      int // lowest sequence number not yet delivered
-	buf       map[int]string
+	buf       segBuf
 	delivered []string
 	acks      []ioa.Packet
+}
+
+// segBuf is the receive window's reorder buffer: out-of-order segments
+// keyed by sequence number, kept as a seq-sorted slice so state keys render
+// deterministically without map iteration.
+type segBuf []bufSeg
+
+type bufSeg struct {
+	seq     int
+	payload string
+}
+
+func (sb segBuf) search(seq int) int {
+	return sort.Search(len(sb), func(i int) bool { return sb[i].seq >= seq })
+}
+
+func (sb segBuf) get(seq int) (string, bool) {
+	if i := sb.search(seq); i < len(sb) && sb[i].seq == seq {
+		return sb[i].payload, true
+	}
+	return "", false
+}
+
+// put inserts the segment, keeping the first payload on duplicates.
+func (sb *segBuf) put(seq int, payload string) {
+	s := *sb
+	i := s.search(seq)
+	if i < len(s) && s[i].seq == seq {
+		return
+	}
+	s = append(s, bufSeg{})
+	copy(s[i+1:], s[i:])
+	s[i] = bufSeg{seq: seq, payload: payload}
+	*sb = s
+}
+
+func (sb *segBuf) del(seq int) {
+	s := *sb
+	if i := s.search(seq); i < len(s) && s[i].seq == seq {
+		*sb = append(s[:i], s[i+1:]...)
+	}
+}
+
+func (sb segBuf) clone() segBuf {
+	if len(sb) == 0 {
+		return nil
+	}
+	out := make(segBuf, len(sb))
+	copy(out, sb)
+	return out
 }
 
 var _ protocol.Receiver = (*swReceiver)(nil)
@@ -237,16 +304,14 @@ func (r *swReceiver) DeliverPkt(p ioa.Packet) {
 	seq, inWindow, stale := r.resolve(h)
 	switch {
 	case inWindow:
-		if _, dup := r.buf[seq]; !dup {
-			r.buf[seq] = p.Payload
-		}
+		r.buf.put(seq, p.Payload)
 		r.acks = append(r.acks, ioa.Packet{Header: ackHeader(r.s, seq)})
 		for {
-			payload, ok := r.buf[r.next]
+			payload, ok := r.buf.get(r.next)
 			if !ok {
 				break
 			}
-			delete(r.buf, r.next)
+			r.buf.del(r.next)
 			r.delivered = append(r.delivered, payload)
 			r.next++
 		}
@@ -300,34 +365,39 @@ func (r *swReceiver) TakeDelivered() []string {
 
 func (r *swReceiver) Clone() protocol.Receiver {
 	c := *r
-	c.buf = make(map[int]string, len(r.buf))
-	for k, v := range r.buf {
-		c.buf[k] = v
-	}
+	c.buf = r.buf.clone()
 	c.delivered = append([]string(nil), r.delivered...)
 	c.acks = append([]ioa.Packet(nil), r.acks...)
 	return &c
 }
 
 func (r *swReceiver) StateKey() string {
-	keys := make([]int, 0, len(r.buf))
-	for k := range r.buf {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
 	var b strings.Builder
-	fmt.Fprintf(&b, "swR{s=%d w=%d next=%d buf=", r.s, r.w, r.next)
-	for _, k := range keys {
-		fmt.Fprintf(&b, "%d:%s;", k, r.buf[k])
+	b.WriteString("swR{s=")
+	b.WriteString(strconv.Itoa(r.s))
+	b.WriteString(" w=")
+	b.WriteString(strconv.Itoa(r.w))
+	b.WriteString(" next=")
+	b.WriteString(strconv.Itoa(r.next))
+	b.WriteString(" buf=")
+	for _, sg := range r.buf {
+		b.WriteString(strconv.Itoa(sg.seq))
+		b.WriteByte(':')
+		b.WriteString(sg.payload)
+		b.WriteByte(';')
 	}
-	fmt.Fprintf(&b, " pendAcks=%d pendDeliv=%d}", len(r.acks), len(r.delivered))
+	b.WriteString(" pendAcks=")
+	b.WriteString(strconv.Itoa(len(r.acks)))
+	b.WriteString(" pendDeliv=")
+	b.WriteString(strconv.Itoa(len(r.delivered)))
+	b.WriteByte('}')
 	return b.String()
 }
 
 func (r *swReceiver) StateSize() int {
 	n := len(strconv.Itoa(r.next)) + len(r.acks)
-	for _, v := range r.buf {
-		n += len(v) + 1
+	for _, sg := range r.buf {
+		n += len(sg.payload) + 1
 	}
 	for _, d := range r.delivered {
 		n += len(d)

@@ -49,6 +49,7 @@ import (
 	"math/rand"
 
 	"repro/internal/adversary"
+	"repro/internal/analyze"
 	"repro/internal/bound"
 	"repro/internal/channel"
 	"repro/internal/core"
@@ -391,3 +392,30 @@ const (
 
 // RunExperiments executes the full E0–E12 suite and renders its tables to w.
 func RunExperiments(w io.Writer, scale ExperimentScale) error { return core.RunAll(w, scale) }
+
+// SplitSeed derives the RNG seed for one named stream from a root seed, so
+// every randomized component of a program can be pinned and replayed
+// independently (see internal/core). All randomness in the module flows
+// from seeds derived this way — the globalrand lint (cmd/nfvet) forbids the
+// process-global math/rand source and hard-coded constant seeds.
+func SplitSeed(root int64, stream string) int64 { return core.SplitSeed(root, stream) }
+
+// Static boundness audit (see internal/analyze and cmd/nfvet).
+type (
+	// AuditConfig bounds the audit's state enumeration.
+	AuditConfig = analyze.AuditConfig
+	// AuditReport is the result of auditing one protocol: the observed
+	// k_t, k_r and header alphabet, and the verdict against the
+	// protocol's declared Bounds.
+	AuditReport = analyze.AuditReport
+	// Bounds declares a protocol's expected state-complexity envelope.
+	Bounds = protocol.Bounds
+)
+
+// AuditProtocol exhaustively enumerates the protocol's joint control states
+// (q_t, q_r) reachable under bounded channel occupancy and checks the
+// observation against its declared Bounds: the k_t·k_r joint-state count
+// Theorem 2.1's pumping adversary exploits, and the bounded header alphabet
+// Theorems 3.1/4.1 presuppose. A zero-valued cfg uses the defaults
+// (occupancy 2, 65536-state budget).
+func AuditProtocol(p Protocol, cfg AuditConfig) *AuditReport { return analyze.Audit(p, cfg) }
