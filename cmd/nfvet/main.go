@@ -12,9 +12,13 @@
 //
 //	nfvet check [packages]   lint the packages (non-test files) directly,
 //	                         without the go vet driver
-//	nfvet audit -all         audit every registered protocol's boundness
+//	nfvet audit -all         audit every registered protocol's boundness,
+//	                         including the adapted transport endpoints
 //	nfvet audit altbit cntk4 audit specific protocols (replay names work:
-//	                         livelock, cntnobind, cheat<d>, cntk<k>)
+//	                         livelock, cntnobind, cheat<d>, cntk<k>,
+//	                         swindow-s<S>-w<W>, gbn-s<S>-w<W>)
+//	nfvet audit -sweep -all  emit the k_t/k_r-vs-occupancy curve as a TSV
+//	                         table (Theorem 2.1's pumping bound vs the cap)
 //	nfvet help               analyzer catalog
 //
 // The audit enumerates the joint control states (q_t, q_r) reachable under
@@ -35,6 +39,7 @@ import (
 	"repro/internal/analyze"
 	"repro/internal/protocol"
 	"repro/internal/replay"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -104,36 +109,52 @@ func runCheck(args []string, out, errw io.Writer) int {
 }
 
 // runAudit audits the named protocols (or, with -all, every registered
-// protocol plus the broken specimens) and prints one report each.
+// protocol — including the adapted transport endpoints — plus the broken
+// specimens) and prints one report each. With -sweep it instead prints the
+// k_t/k_r-vs-occupancy curve for the named protocols as one TSV table.
 func runAudit(args []string, out, errw io.Writer) int {
 	fs := flag.NewFlagSet("nfvet audit", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		all       = fs.Bool("all", false, "audit every registered protocol plus livelock and cntnobind")
+		all       = fs.Bool("all", false, "audit every registered protocol (incl. adapted transport) plus livelock and cntnobind")
 		occupancy = fs.Int("occupancy", 2, "max in-transit packets per channel")
 		maxStates = fs.Int("maxstates", 1<<16, "joint-state enumeration budget")
+		sweep     = fs.Bool("sweep", false, "emit the k_t/k_r-vs-occupancy TSV curve instead of verdict reports")
+		maxOcc    = fs.Int("maxocc", 4, "largest occupancy cap swept (with -sweep)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	names := fs.Args()
 	if *all {
-		names = append(protocol.Names(), "livelock", "cntnobind")
+		names = append(protocol.Names(), transport.Names()...)
+		names = append(names, "livelock", "cntnobind")
 	}
 	if len(names) == 0 {
 		fmt.Fprintln(errw, "nfvet audit: name protocols or pass -all (known: "+
-			strings.Join(protocol.Names(), ", ")+", plus livelock, cntnobind, cheat<d>, cntk<k>)")
+			strings.Join(protocol.Names(), ", ")+"; "+
+			strings.Join(transport.Names(), ", ")+
+			"; plus livelock, cntnobind, cheat<d>, cntk<k>, swindow-s<S>-w<W>, gbn-s<S>-w<W>)")
 		return 2
 	}
 
-	cfg := analyze.AuditConfig{Occupancy: *occupancy, MaxStates: *maxStates}
-	failed := 0
-	for i, name := range names {
+	ps := make([]protocol.Protocol, 0, len(names))
+	for _, name := range names {
 		p, err := replay.LookupProtocol(name)
 		if err != nil {
 			fmt.Fprintln(errw, "nfvet audit:", err)
 			return 2
 		}
+		ps = append(ps, p)
+	}
+
+	if *sweep {
+		return runSweep(ps, analyze.SweepConfig{MaxOccupancy: *maxOcc, MaxStates: *maxStates}, out, errw)
+	}
+
+	cfg := analyze.AuditConfig{Occupancy: *occupancy, MaxStates: *maxStates}
+	failed := 0
+	for i, p := range ps {
 		if i > 0 {
 			fmt.Fprintln(out)
 		}
@@ -145,6 +166,26 @@ func runAudit(args []string, out, errw io.Writer) int {
 	}
 	if failed > 0 {
 		fmt.Fprintf(errw, "nfvet audit: %d protocol(s) FAIL their declared bounds\n", failed)
+		return 1
+	}
+	return 0
+}
+
+// runSweep prints the occupancy sweep for the given protocols and checks
+// each curve's monotonicity (Theorem 2.1: a larger cap can only grow the
+// reachable joint control space).
+func runSweep(ps []protocol.Protocol, cfg analyze.SweepConfig, out, errw io.Writer) int {
+	reports := analyze.SweepAll(ps, cfg)
+	fmt.Fprint(out, analyze.SweepTable(reports))
+	bad := 0
+	for _, r := range reports {
+		if err := r.CheckMonotone(); err != nil {
+			fmt.Fprintln(errw, "nfvet audit:", err)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(errw, "nfvet audit: %d protocol(s) have non-monotone sweep curves\n", bad)
 		return 1
 	}
 	return 0

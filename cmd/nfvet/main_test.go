@@ -51,14 +51,50 @@ func TestAuditAll(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("audit -all exited %d: %s", code, stderr)
 	}
-	// Every registered protocol plus the broken specimens gets a report.
-	for _, name := range []string{"altbit", "cheat1", "cntexp", "cntk4", "cntlinear", "seqnum", "livelock", "cntnobind"} {
+	// Every registered protocol — core and adapted transport — plus the
+	// broken specimens gets a report.
+	for _, name := range []string{
+		"altbit", "cheat1", "cntexp", "cntk4", "cntlinear", "seqnum",
+		"swindow-s4-w2", "swindow-unbounded-w2", "gbn-s4-w2", "gbn-s8-w4",
+		"livelock", "cntnobind",
+	} {
 		if !strings.Contains(stdout, "protocol:  "+name+"\n") {
 			t.Errorf("audit -all output lacks %s", name)
 		}
 	}
 	if strings.Contains(stdout, "FAIL") {
 		t.Errorf("audit -all reports a FAIL:\n%s", stdout)
+	}
+}
+
+func TestAuditTransportByName(t *testing.T) {
+	code, stdout, stderr := runCmd(t, "audit", "gbn-s4-w2")
+	if code != 0 {
+		t.Fatalf("audit gbn-s4-w2 exited %d: %s", code, stderr)
+	}
+	for _, want := range []string{"protocol:  gbn-s4-w2", "verdict:   CERTIFIED", "alphabet:  8 (bounded)"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("report lacks %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestAuditSweep(t *testing.T) {
+	code, stdout, stderr := runCmd(t, "audit", "-sweep", "-maxocc", "2", "-maxstates", "16384", "altbit", "gbn-s4-w2")
+	if code != 0 {
+		t.Fatalf("audit -sweep exited %d: %s", code, stderr)
+	}
+	lines := strings.Split(strings.TrimRight(stdout, "\n"), "\n")
+	if lines[0] != "protocol\toccupancy\tstates\texact\tk_t\tk_r\tk_t*k_r\theaders" {
+		t.Fatalf("sweep table header drifted: %q", lines[0])
+	}
+	if len(lines) != 5 {
+		t.Fatalf("two protocols swept to occupancy 2 should emit 4 data rows, got %d:\n%s", len(lines)-1, stdout)
+	}
+	for _, want := range []string{"altbit\t1\t", "altbit\t2\t", "gbn-s4-w2\t1\t", "gbn-s4-w2\t2\t"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("sweep table lacks a %q row:\n%s", want, stdout)
+		}
 	}
 }
 

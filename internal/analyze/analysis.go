@@ -190,12 +190,14 @@ var deterministicPackages = []string{
 	"internal/trace",
 }
 
-// mapOrderCriticalPackages extends the deterministic set with the two
+// mapOrderCriticalPackages extends the deterministic set with the
 // substrate packages whose iteration order feeds state keys and channel
-// keys directly.
+// keys directly — including the transport endpoints, whose adapted
+// ControlKey quotients the static auditor hashes.
 var mapOrderCriticalPackages = append([]string{
 	"internal/mset",
 	"internal/protocol",
+	"internal/transport",
 }, deterministicPackages...)
 
 // inPackageSet reports whether the package path is (a suffix match of) one

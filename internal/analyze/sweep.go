@@ -1,0 +1,144 @@
+package analyze
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/protocol"
+)
+
+// This file extends the static boundness auditor (audit.go) with the
+// occupancy sweep: the same joint-state enumeration run at a series of
+// channel occupancy caps, producing k_t/k_r as a function of the cap. The
+// curve is the empirical face of Theorem 2.1 — the pumping bound k_t·k_r a
+// bounded protocol exposes to the adversary can only grow as the physical
+// layer is allowed to buffer more stale copies, and for genuinely finite
+// protocols it plateaus once the cap covers the whole window.
+
+// SweepConfig bounds one occupancy sweep.
+type SweepConfig struct {
+	// MaxOccupancy is the largest cap audited; the sweep runs caps
+	// 1..MaxOccupancy in order. Default 4.
+	MaxOccupancy int
+	// MaxStates is the per-point state budget (AuditConfig.MaxStates).
+	// Default 65536.
+	MaxStates int
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if c.MaxOccupancy <= 0 {
+		c.MaxOccupancy = 4
+	}
+	if c.MaxStates <= 0 {
+		c.MaxStates = 1 << 16
+	}
+	return c
+}
+
+// SweepPoint is the audit observation at one occupancy cap. When Exhausted
+// is false the counts are lower bounds (the budget cut the enumeration off)
+// and PumpingBound is zero.
+type SweepPoint struct {
+	Occupancy    int
+	States       int
+	Exhausted    bool
+	KT, KR       int
+	PumpingBound int
+	Headers      int
+}
+
+// SweepReport is the k_t/k_r-vs-occupancy curve for one protocol.
+type SweepReport struct {
+	Protocol  string
+	MaxStates int
+	Points    []SweepPoint
+	// Truncated is set when the sweep stopped before MaxOccupancy because a
+	// point hit the state budget: a larger cap only adds reachable
+	// configurations, so every later point would hit it too.
+	Truncated bool
+}
+
+// Sweep audits p at occupancy caps 1..cfg.MaxOccupancy and collects the
+// curve. The sweep stops at the first budget-hit point (see
+// SweepReport.Truncated).
+func Sweep(p protocol.Protocol, cfg SweepConfig) *SweepReport {
+	cfg = cfg.withDefaults()
+	rep := &SweepReport{Protocol: p.Name(), MaxStates: cfg.MaxStates}
+	for occ := 1; occ <= cfg.MaxOccupancy; occ++ {
+		a := Audit(p, AuditConfig{Occupancy: occ, MaxStates: cfg.MaxStates})
+		rep.Points = append(rep.Points, SweepPoint{
+			Occupancy:    occ,
+			States:       a.States,
+			Exhausted:    a.Exhausted,
+			KT:           a.KT,
+			KR:           a.KR,
+			PumpingBound: a.PumpingBound,
+			Headers:      len(a.Headers),
+		})
+		if !a.Exhausted {
+			rep.Truncated = occ < cfg.MaxOccupancy
+			break
+		}
+	}
+	return rep
+}
+
+// CheckMonotone verifies the curve against Theorem 2.1's expectation: over
+// the exhausted points, k_t, k_r, the joint-state count and the pumping
+// bound k_t·k_r never decrease as the occupancy cap grows, because a larger
+// cap strictly extends the adversary's schedule space. A decrease means the
+// enumeration (or a protocol's ControlKey quotient) is unsound.
+func (r *SweepReport) CheckMonotone() error {
+	var prev *SweepPoint
+	for i := range r.Points {
+		pt := &r.Points[i]
+		if !pt.Exhausted {
+			continue
+		}
+		if prev != nil {
+			if pt.KT < prev.KT || pt.KR < prev.KR {
+				return fmt.Errorf("sweep %s: k_t/k_r shrank from (%d,%d) at occupancy %d to (%d,%d) at %d",
+					r.Protocol, prev.KT, prev.KR, prev.Occupancy, pt.KT, pt.KR, pt.Occupancy)
+			}
+			if pt.PumpingBound < prev.PumpingBound {
+				return fmt.Errorf("sweep %s: pumping bound shrank from %d at occupancy %d to %d at %d",
+					r.Protocol, prev.PumpingBound, prev.Occupancy, pt.PumpingBound, pt.Occupancy)
+			}
+			if pt.States < prev.States {
+				return fmt.Errorf("sweep %s: joint-state count shrank from %d at occupancy %d to %d at %d",
+					r.Protocol, prev.States, prev.Occupancy, pt.States, pt.Occupancy)
+			}
+		}
+		prev = pt
+	}
+	return nil
+}
+
+// SweepTable renders a set of sweep reports as one machine-readable
+// tab-separated table with a header row. The "exact" column distinguishes
+// exhausted points (counts are the true reachable totals) from budget-hit
+// points (counts are lower bounds and k_t*k_r is not defined, rendered 0).
+func SweepTable(reports []*SweepReport) string {
+	var b strings.Builder
+	b.WriteString("protocol\toccupancy\tstates\texact\tk_t\tk_r\tk_t*k_r\theaders\n")
+	for _, r := range reports {
+		for _, pt := range r.Points {
+			exact := "yes"
+			if !pt.Exhausted {
+				exact = "no"
+			}
+			fmt.Fprintf(&b, "%s\t%d\t%d\t%s\t%d\t%d\t%d\t%d\n",
+				r.Protocol, pt.Occupancy, pt.States, exact, pt.KT, pt.KR, pt.PumpingBound, pt.Headers)
+		}
+	}
+	return b.String()
+}
+
+// SweepAll sweeps every protocol in ps, in the given order.
+func SweepAll(ps []protocol.Protocol, cfg SweepConfig) []*SweepReport {
+	out := make([]*SweepReport, 0, len(ps))
+	for _, p := range ps {
+		out = append(out, Sweep(p, cfg))
+	}
+	return out
+}

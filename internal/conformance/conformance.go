@@ -1,0 +1,116 @@
+// Package conformance implements the differential conformance harness: it
+// replays one recorded schedule through two protocol implementations that
+// claim to be the same protocol and reports every observable difference.
+//
+// The primary client is the transport adapter (internal/transport): an
+// Adapted protocol is only trustworthy as an audit subject if it is
+// behaviour-preserving, and behaviour preservation is exactly what Compare
+// checks — event-for-event equality of the replayed executions (sends,
+// deliveries, stale moves), equal delivered-payload sequences, and matching
+// DL1/DL2/PL1 and DL3 oracle verdicts. Because the comparison is replay
+// based it extends to any recorded schedule, including pumped livelock
+// certificates from replay.CertifyLivelock.
+package conformance
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ioa"
+	"repro/internal/protocol"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// Mismatch is one observable difference between the two replays.
+type Mismatch struct {
+	// Field names the compared observable ("events", "delivered", "verdict",
+	// "dl3", "ops", "stale-skipped", "decisions").
+	Field string
+	// A and B render the two sides' values.
+	A, B string
+}
+
+func (m Mismatch) String() string {
+	return fmt.Sprintf("%s: A %s, B %s", m.Field, m.A, m.B)
+}
+
+// Report is the outcome of a differential replay.
+type Report struct {
+	// Protocol is the trace's protocol name.
+	Protocol string
+	// Ops counts the driver operations re-issued on each side.
+	Ops int
+	// A and B are the two replay results, for callers that want to inspect
+	// beyond the mismatch summary.
+	A, B *replay.Result
+	// Mismatches lists every observable on which the two replays differ,
+	// empty when the implementations are event-equivalent on this schedule.
+	Mismatches []Mismatch
+}
+
+// Equivalent reports whether the two implementations were observationally
+// identical on the replayed schedule.
+func (r *Report) Equivalent() bool { return len(r.Mismatches) == 0 }
+
+func (r *Report) String() string {
+	if r.Equivalent() {
+		return fmt.Sprintf("conformance %s: equivalent over %d ops", r.Protocol, r.Ops)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "conformance %s: %d mismatches over %d ops", r.Protocol, len(r.Mismatches), r.Ops)
+	for _, m := range r.Mismatches {
+		b.WriteString("\n  ")
+		b.WriteString(m.String())
+	}
+	return b.String()
+}
+
+// violationString renders an oracle verdict for comparison and display.
+// Only the violated property and its position are compared — Detail strings
+// may legitimately render implementation-private state.
+func violationString(v *ioa.Violation) string {
+	if v == nil {
+		return "clean"
+	}
+	return fmt.Sprintf("%s@%d", v.Property, v.Index)
+}
+
+// Compare replays l through implementations a and b and reports every
+// observable difference. The schedule's channel decisions are fixed by the
+// recording, so any divergence is attributable to the implementations.
+func Compare(l *trace.Log, a, b protocol.Protocol) (*Report, error) {
+	ra, err := replay.RunAs(l, a)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: replaying %s through %s: %w", l.Meta[trace.MetaProtocol], a.Name(), err)
+	}
+	rb, err := replay.RunAs(l, b)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: replaying %s through %s: %w", l.Meta[trace.MetaProtocol], b.Name(), err)
+	}
+
+	rep := &Report{Protocol: l.Meta[trace.MetaProtocol], Ops: ra.Ops, A: ra, B: rb}
+	add := func(field, av, bv string) {
+		if av != bv {
+			rep.Mismatches = append(rep.Mismatches, Mismatch{Field: field, A: av, B: bv})
+		}
+	}
+
+	// Event-for-event: compare the two re-recorded logs' replayable
+	// projections (submits, transmissions, deliveries, drains, stale moves
+	// and the channel decisions they consumed).
+	if d := replay.Diverge(ra.Log, rb.Log); d != nil {
+		rep.Mismatches = append(rep.Mismatches, Mismatch{
+			Field: "events",
+			A:     fmt.Sprintf("event %d: %s", d.Index, d.Recorded),
+			B:     d.Replayed,
+		})
+	}
+	add("delivered", fmt.Sprintf("%q", ra.Delivered), fmt.Sprintf("%q", rb.Delivered))
+	add("verdict", violationString(ra.Verdict), violationString(rb.Verdict))
+	add("dl3", violationString(ra.DL3), violationString(rb.DL3))
+	add("ops", fmt.Sprintf("%d", ra.Ops), fmt.Sprintf("%d", rb.Ops))
+	add("stale-skipped", fmt.Sprintf("%d", ra.StaleSkipped), fmt.Sprintf("%d", rb.StaleSkipped))
+	add("decisions", fmt.Sprintf("exhausted=%v", ra.DecisionsExhausted), fmt.Sprintf("exhausted=%v", rb.DecisionsExhausted))
+	return rep, nil
+}

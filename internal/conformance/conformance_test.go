@@ -1,0 +1,221 @@
+package conformance
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/ioa"
+	"repro/internal/protocol"
+	"repro/internal/replay"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// record captures one schedule against p as an NFT event log.
+func record(t *testing.T, p protocol.Protocol, data, ack channel.Policy, drive func(r *sim.Runner)) *trace.Log {
+	t.Helper()
+	l := trace.NewLog(nil)
+	r := sim.NewRunner(sim.Config{
+		Protocol:    p,
+		DataPolicy:  data,
+		AckPolicy:   ack,
+		RecordTrace: true,
+		TraceLog:    l,
+	})
+	drive(r)
+	return l
+}
+
+// driveMessages submits n messages, stepping each to confirmation with a
+// step cap so a recording bug cannot hang the suite.
+func driveMessages(t *testing.T, r *sim.Runner, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		r.SubmitMsg("m" + strconv.Itoa(i))
+		for steps := 0; r.T.Busy(); steps++ {
+			if steps > 400 {
+				t.Fatalf("message %d did not confirm within 400 steps", i)
+			}
+			r.StepTransmit()
+			r.DrainAcks()
+		}
+	}
+}
+
+// mustEquivalent fails the test with the full mismatch report if the two
+// implementations diverged on the schedule.
+func mustEquivalent(t *testing.T, l *trace.Log, native, adapted protocol.Protocol) *Report {
+	t.Helper()
+	rep, err := Compare(l, native, adapted)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if !rep.Equivalent() {
+		t.Fatalf("adapted form not event-equivalent:\n%s", rep)
+	}
+	if rep.Ops == 0 {
+		t.Fatal("schedule recorded no operations; the comparison is vacuous")
+	}
+	return rep
+}
+
+// Schedule 1 (both protocols): reliable wrap — three full trips around the
+// S=4 sequence space, exercising every header value on both channels.
+func recordReliableWrap(t *testing.T, p protocol.Protocol) *trace.Log {
+	return record(t, p, channel.Reliable(), channel.Reliable(), func(r *sim.Runner) {
+		driveMessages(t, r, 12)
+	})
+}
+
+// Schedule 2 (both protocols): deterministic loss — periodic drops on both
+// channels force retransmissions, reordering-buffer traffic (swindow) and
+// cumulative re-acks (gbn).
+func recordLossy(t *testing.T, p protocol.Protocol) *trace.Log {
+	return record(t, p, channel.DropEvery(3), channel.DropEvery(4), func(r *sim.Runner) {
+		driveMessages(t, r, 6)
+	})
+}
+
+// Schedule 3 (swindow): the wrap-alias DL1 attack. A delayed copy of the
+// very first data packet (header s0, payload m0) is replayed after the
+// window has wrapped to sequence 4, whose header is also s0 — the receiver
+// accepts the stale payload as message 4.
+func recordSwindowWrapAlias(t *testing.T) *trace.Log {
+	p := transport.New(4, 2)
+	return record(t, p, channel.Script(channel.Delay), channel.Reliable(), func(r *sim.Runner) {
+		r.SubmitMsg("m0")
+		r.StepTransmit() // first s0[m0] copy delayed: the future alias
+		r.StepTransmit() // retransmission delivered; m0 confirmed below
+		r.DrainAcks()
+		for i := 1; i < 4; i++ {
+			r.SubmitMsg("m" + strconv.Itoa(i))
+			r.StepTransmit()
+			r.DrainAcks()
+		}
+		r.SubmitMsg("m4") // sequence 4 wraps to header s0
+		if err := r.DeliverStale(ioa.TtoR, ioa.Packet{Header: "s0", Payload: "m0"}); err != nil {
+			t.Fatalf("stale s0 replay infeasible: %v", err)
+		}
+	})
+}
+
+// Schedule 3 (gbn): the ack-alias livelock. A delayed t0 ack from message 0
+// is replayed after the window wraps, acknowledging the queued-but-untransmitted
+// sequence 4; the sender strands m4 and the pair loops forever (sender
+// retransmits s1, receiver re-acks t3 which resolves to nothing).
+func recordGbnAckAlias(t *testing.T) *trace.Log {
+	p := transport.NewGoBackN(4, 2)
+	return record(t, p, channel.Reliable(), channel.Script(channel.Delay), func(r *sim.Runner) {
+		r.SubmitMsg("m0")
+		r.StepTransmit() // s0 delivered, t0 queued
+		r.DrainAcks()    // t0 delayed: the future alias
+		r.StepTransmit() // s0 retransmitted; receiver re-acks t0
+		r.DrainAcks()    // re-ack delivered, m0 confirmed
+		for i := 1; i < 4; i++ {
+			r.SubmitMsg("m" + strconv.Itoa(i))
+			r.StepTransmit()
+			r.DrainAcks()
+		}
+		r.SubmitMsg("m4") // sequence 4 admitted but never transmitted
+		if err := r.DeliverStale(ioa.RtoT, ioa.Packet{Header: "t0"}); err != nil {
+			t.Fatalf("stale t0 replay infeasible: %v", err)
+		}
+		r.SubmitMsg("m5") // sequence 5; receiver still expects sequence 4
+		for i := 0; i < 4; i++ {
+			r.StepTransmit() // s1 rejected
+			r.DrainAcks()    // t3 re-ack resolves no in-flight sequence
+		}
+	})
+}
+
+func TestSwindowConformance(t *testing.T) {
+	native := transport.New(4, 2)
+	adapted := transport.MustAdapt(transport.New(4, 2))
+
+	mustEquivalent(t, recordReliableWrap(t, native), native, adapted)
+	mustEquivalent(t, recordLossy(t, native), native, adapted)
+
+	rep := mustEquivalent(t, recordSwindowWrapAlias(t), native, adapted)
+	if rep.A.Verdict == nil || rep.A.Verdict.Property != "DL1" {
+		t.Fatalf("wrap-alias schedule should violate DL1 on both sides, got verdict %v", rep.A.Verdict)
+	}
+}
+
+func TestGbnConformance(t *testing.T) {
+	native := transport.NewGoBackN(4, 2)
+	adapted := transport.MustAdapt(transport.NewGoBackN(4, 2))
+
+	mustEquivalent(t, recordReliableWrap(t, native), native, adapted)
+	mustEquivalent(t, recordLossy(t, native), native, adapted)
+
+	attack := recordGbnAckAlias(t)
+	rep := mustEquivalent(t, attack, native, adapted)
+	if rep.A.Verdict != nil {
+		t.Fatalf("ack-alias schedule should be safety-clean, got %v", rep.A.Verdict)
+	}
+	if rep.A.DL3 == nil {
+		t.Fatal("ack-alias schedule should strand messages (DL3) on both sides")
+	}
+
+	// The DL3 certificate replay: certify the livelock via the pumping
+	// lemma, then prove the adapter preserves the pumped certificate's
+	// behaviour event for event.
+	cert, err := replay.CertifyLivelock(attack, replay.CertifyOptions{})
+	if err != nil {
+		t.Fatalf("CertifyLivelock: %v", err)
+	}
+	if cert.CycleOps == 0 {
+		t.Fatal("certificate has an empty cycle")
+	}
+	pumped := cert.Pumped(3)
+	prep := mustEquivalent(t, pumped, native, adapted)
+	if prep.A.DL3 == nil || prep.B.DL3 == nil {
+		t.Fatal("pumped certificate lost its DL3 verdict under differential replay")
+	}
+	if prep.A.Divergence != nil || prep.B.Divergence != nil {
+		t.Fatalf("pumped certificate should replay with zero divergence on both sides: native %v, adapted %v",
+			prep.A.Divergence, prep.B.Divergence)
+	}
+}
+
+// TestUnboundedVariantConformance covers the S=0 (unbounded sequence space)
+// forms, where the adapter's ControlKey falls back to the native StateKey.
+func TestUnboundedVariantConformance(t *testing.T) {
+	for _, mk := range []protocol.Protocol{transport.New(0, 2), transport.NewGoBackN(0, 2)} {
+		adapted := transport.MustAdapt(mk)
+		mustEquivalent(t, recordReliableWrap(t, mk), mk, adapted)
+		mustEquivalent(t, recordLossy(t, mk), mk, adapted)
+	}
+}
+
+// TestDetectsNonEquivalence is the harness's negative control: two genuinely
+// different protocols must not pass. altbit and seqnum agree on the first
+// two headers (0, 1) but diverge on the third message, where altbit wraps
+// back to 0 and seqnum counts on to 2.
+func TestDetectsNonEquivalence(t *testing.T) {
+	ab := protocol.NewAltBit()
+	l := record(t, ab, channel.Reliable(), channel.Reliable(), func(r *sim.Runner) {
+		driveMessages(t, r, 3)
+	})
+	rep, err := Compare(l, ab, protocol.SeqNum{})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if rep.Equivalent() {
+		t.Fatal("altbit and seqnum reported as equivalent; the harness is not comparing events")
+	}
+	found := false
+	for _, m := range rep.Mismatches {
+		if m.Field == "events" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected an event-stream mismatch, got:\n%s", rep)
+	}
+	if rep.String() == "" {
+		t.Fatal("mismatch report did not render")
+	}
+}

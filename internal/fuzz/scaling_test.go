@@ -1,0 +1,53 @@
+package fuzz
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// TestWorkerPoolScaling measures campaign throughput at 1, 2 and 4 workers
+// over a fixed budget and logs execs/sec for each — the verification run
+// behind EXPERIMENTS.md's worker-scaling table (ROADMAP's open item: the
+// near-linear-scaling claim was unverifiable on the original 1-CPU build
+// host). It is a measurement, not a benchmark race: the test only asserts
+// that every pool size consumes its full budget on the sound cntlinear
+// protocol with zero violations, and that throughput does not collapse
+// (>5x regression) as workers are added — catching a pool that serializes
+// on a hot lock. Skipped in -short; run with `go test -run
+// TestWorkerPoolScaling -v ./internal/fuzz` to reproduce the numbers.
+func TestWorkerPoolScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second throughput measurement; skipped in -short")
+	}
+	const budget = 8000
+	rates := make(map[int]float64)
+	for _, w := range []int{1, 2, 4} {
+		start := time.Now()
+		res, err := Run(Config{
+			Protocol: protocol.NewCntLinear(),
+			Workers:  w,
+			Budget:   budget,
+			Seed:     1,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		elapsed := time.Since(start)
+		if res.Execs < budget {
+			t.Fatalf("workers=%d: executed %d of %d budget", w, res.Execs, budget)
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("workers=%d: cntlinear violated safety: %v", w, res.Violations)
+		}
+		rates[w] = float64(res.Execs) / elapsed.Seconds()
+		t.Logf("workers=%d: %d execs in %v = %.0f execs/sec", w, res.Execs, elapsed.Round(time.Millisecond), rates[w])
+	}
+	for _, w := range []int{2, 4} {
+		if rates[w] < rates[1]/5 {
+			t.Errorf("workers=%d throughput %.0f execs/sec is >5x below serial %.0f — pool overhead dominates",
+				w, rates[w], rates[1])
+		}
+	}
+}

@@ -23,11 +23,17 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // LookupProtocol resolves a recorded protocol name, including the
-// parameterised families (cheat<d>, cntk<k>) and the deliberately broken
-// specimens (livelock, cntnobind) that are not part of the main registry.
+// parameterised families (cheat<d>, cntk<k>), the deliberately broken
+// specimens (livelock, cntnobind) that are not part of the main registry,
+// and the transport-layer endpoint families (swindow-s<S>-w<W>,
+// swindow-unbounded-w<W>, gbn-s<S>-w<W>, gbn-unbounded-w<W>). Transport
+// names resolve to their *adapted* form (transport.Adapt) — behaviourally
+// identical to the native endpoints (internal/conformance proves it per
+// schedule), and additionally auditable by `nfvet audit`.
 func LookupProtocol(name string) (protocol.Protocol, error) {
 	if p, ok := protocol.Registry()[name]; ok {
 		return p, nil
@@ -48,7 +54,10 @@ func LookupProtocol(name string) (protocol.Protocol, error) {
 			return protocol.NewCntK(k), nil
 		}
 	}
-	return nil, fmt.Errorf("replay: unknown protocol %q (known: %s, plus livelock, cntnobind, cheat<d>, cntk<k>)",
+	if p, ok := transport.Parse(name); ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("replay: unknown protocol %q (known: %s, plus livelock, cntnobind, cheat<d>, cntk<k>, swindow-s<S>-w<W>, gbn-s<S>-w<W>, and their -unbounded-w<W> forms)",
 		name, strings.Join(protocol.Names(), ", "))
 }
 
@@ -131,17 +140,26 @@ type redriven struct {
 // fails on traces that are not re-drivable: unknown protocols, or
 // observational recordings (e.g. netlink session logs, which capture only
 // one vantage point of a real network run and cannot be re-executed).
-func redrive(l *trace.Log) (*redriven, error) {
+func redrive(l *trace.Log) (*redriven, error) { return redriveWith(l, nil) }
+
+// redriveWith is redrive with an optional protocol override: when proto is
+// non-nil it is driven in place of the trace's protocol metadata. The
+// differential conformance harness (internal/conformance) uses the override
+// to push one schedule through two implementations of the same protocol.
+func redriveWith(l *trace.Log, proto protocol.Protocol) (*redriven, error) {
 	if kind := l.Meta[trace.MetaKind]; kind != "" && kind != "sim" {
 		return nil, fmt.Errorf("replay: trace kind %q is observational, only %q traces can be re-driven", kind, "sim")
 	}
-	name := l.Meta[trace.MetaProtocol]
-	if name == "" {
-		return nil, fmt.Errorf("replay: trace has no %q metadata", trace.MetaProtocol)
-	}
-	proto, err := LookupProtocol(name)
-	if err != nil {
-		return nil, err
+	if proto == nil {
+		name := l.Meta[trace.MetaProtocol]
+		if name == "" {
+			return nil, fmt.Errorf("replay: trace has no %q metadata", trace.MetaProtocol)
+		}
+		p, err := LookupProtocol(name)
+		if err != nil {
+			return nil, err
+		}
+		proto = p
 	}
 
 	rd := &redriven{log: trace.NewLog(nil)}
@@ -187,8 +205,23 @@ func redrive(l *trace.Log) (*redriven, error) {
 }
 
 // Run replays a recorded simulation trace and re-checks it.
-func Run(l *trace.Log) (*Result, error) {
-	rd, err := redrive(l)
+func Run(l *trace.Log) (*Result, error) { return runWith(l, nil) }
+
+// RunAs replays a recorded simulation trace against the supplied protocol
+// implementation instead of resolving the trace's protocol metadata. The
+// differential conformance harness replays one schedule through a native
+// endpoint pair and its adapted form and compares the two Results; any
+// implementation claiming behavioural equivalence with the recorded
+// protocol can be checked the same way.
+func RunAs(l *trace.Log, p protocol.Protocol) (*Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("replay: RunAs needs a protocol")
+	}
+	return runWith(l, p)
+}
+
+func runWith(l *trace.Log, p protocol.Protocol) (*Result, error) {
+	rd, err := redriveWith(l, p)
 	if err != nil {
 		return nil, err
 	}
@@ -262,6 +295,14 @@ func replayable(l *trace.Log) []trace.Event {
 	}
 	return out
 }
+
+// Diverge compares two logs event for event over their replayable
+// projections and returns the first mismatch, or nil when they agree. Beyond
+// the recorded-vs-replayed check Run performs, this is the equivalence
+// criterion of the conformance harness: two logs with no divergence describe
+// the same operations, the same packet sends and deliveries, and the same
+// channel decisions.
+func Diverge(a, b *trace.Log) *Divergence { return diverge(a, b) }
 
 func diverge(recorded, replayed *trace.Log) *Divergence {
 	a, b := replayable(recorded), replayable(replayed)

@@ -1,0 +1,359 @@
+package transport
+
+// Adapter: the transport endpoints as auditable protocol.Protocol instances.
+//
+// SlidingWindow and GoBackN already satisfy protocol.Protocol, but their
+// endpoints' StateKeys carry *absolute* sequence numbers (base, next, the
+// seqs of in-flight segments), which grow without bound with the message
+// count. The static boundness auditor (internal/analyze, `nfvet audit`)
+// enumerates joint control states by ControlKey, so on the native endpoints
+// it never reaches a fixpoint — even for the finite-sequence-space variants
+// whose control space *is* finite, the ones Theorem 5.1 is about.
+//
+// Adapt wraps a transport descriptor so its endpoints additionally implement
+// protocol.ControlKeyer with the bisimulation quotient that makes the audit
+// terminate, and protocol.Bounded with the declaration the audit checks:
+//
+//   - For S > 0 every behavioural decision of both endpoint families reads
+//     sequence numbers only modulo S: data headers are "s<seq mod S>", ack
+//     headers "t<seq mod S>", the sliding-window receiver resolves a header
+//     against [next, next+W) by congruence mod S, the go-back-N sender
+//     resolves a cumulative ack against its window by congruence mod S.
+//     The quotient therefore replaces every absolute sequence number with
+//     its residue mod S (window positions stay relative), which is finite:
+//     equal control keys imply identical observable behaviour and
+//     control-key-equal successors under every input. The differential
+//     conformance harness (internal/conformance) checks the adapter itself
+//     is behaviour-preserving by replaying recorded schedules through both
+//     forms.
+//   - For S = 0 there is no quotient — the header alphabet is the sequence
+//     numbers themselves — and the adapter declares the protocol
+//     state-unbounded, which the audit corroborates (CONSISTENT) by running
+//     into its state budget.
+//
+// The adapted protocol keeps the native Name, HeaderBound and StateKey, so
+// every existing harness (runner, adversaries, fuzzer, replayer) treats the
+// two forms interchangeably; only the audit sees the difference.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/channel"
+	"repro/internal/ioa"
+	"repro/internal/protocol"
+)
+
+// Adapted wraps a transport protocol descriptor with the audit-facing
+// declarations. Construct with Adapt or MustAdapt.
+type Adapted struct {
+	inner    protocol.Protocol
+	s        int
+	declared protocol.Bounds
+}
+
+var (
+	_ protocol.Protocol = Adapted{}
+	_ protocol.Bounded  = Adapted{}
+)
+
+// Adapt wraps a SlidingWindow or GoBackN descriptor as an auditable
+// protocol: endpoints gain the mod-S ControlKey quotient (for S > 0), and
+// the protocol declares the Bounds the quotient implies — state-bounded with
+// a 2S-header alphabet for finite sequence spaces, state-unbounded for S = 0.
+func Adapt(p protocol.Protocol) (Adapted, error) {
+	switch d := p.(type) {
+	case SlidingWindow:
+		return Adapted{inner: d, s: d.S, declared: deriveBounds(d.S)}, nil
+	case GoBackN:
+		return Adapted{inner: d, s: d.S, declared: deriveBounds(d.S)}, nil
+	case Adapted:
+		return d, nil
+	default:
+		return Adapted{}, fmt.Errorf("transport: cannot adapt %T (want SlidingWindow or GoBackN)", p)
+	}
+}
+
+// MustAdapt is Adapt for statically known descriptors; it panics on the
+// error Adapt would return.
+func MustAdapt(p protocol.Protocol) Adapted {
+	a, err := Adapt(p)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// deriveBounds is the declaration the mod-S quotient implies. No k_t/k_r
+// ceilings are declared: the observed counts depend on the audit's occupancy
+// cap (see `nfvet audit -sweep`), and Bounds ceilings are cap-independent
+// claims. The header alphabet is exactly the 2S data+ack headers.
+func deriveBounds(s int) protocol.Bounds {
+	if s == 0 {
+		return protocol.Bounds{StateBounded: false}
+	}
+	return protocol.Bounds{StateBounded: true, Headers: 2 * s}
+}
+
+// WithBounds returns a copy declaring b instead of the derived bounds. This
+// is the what-if hook for audit fixtures: declaring tighter ceilings than
+// the quotient implies (or the wrong boundedness class) must FAIL the audit.
+func (a Adapted) WithBounds(b protocol.Bounds) Adapted {
+	a.declared = b
+	return a
+}
+
+// Name implements protocol.Protocol: the native name, so traces, corpora and
+// audit reports refer to one protocol regardless of form.
+func (a Adapted) Name() string { return a.inner.Name() }
+
+// HeaderBound implements protocol.Protocol.
+func (a Adapted) HeaderBound() (int, bool) { return a.inner.HeaderBound() }
+
+// Bounds implements protocol.Bounded.
+func (a Adapted) Bounds() protocol.Bounds { return a.declared }
+
+// New implements protocol.Protocol: native endpoints wrapped with the
+// ControlKey quotient.
+func (a Adapted) New(dataGenie, ackGenie channel.Genie) (protocol.Transmitter, protocol.Receiver) {
+	t, r := a.inner.New(dataGenie, ackGenie)
+	return &adaptedT{native: t, s: a.s}, &adaptedR{native: r, s: a.s}
+}
+
+// adaptedT delegates every Transmitter action to the native endpoint and
+// adds the ControlKey quotient.
+type adaptedT struct {
+	native protocol.Transmitter
+	s      int
+}
+
+var (
+	_ protocol.Transmitter  = (*adaptedT)(nil)
+	_ protocol.ControlKeyer = (*adaptedT)(nil)
+)
+
+func (t *adaptedT) SendMsg(payload string)      { t.native.SendMsg(payload) }
+func (t *adaptedT) DeliverPkt(p ioa.Packet)     { t.native.DeliverPkt(p) }
+func (t *adaptedT) NextPkt() (ioa.Packet, bool) { return t.native.NextPkt() }
+func (t *adaptedT) Busy() bool                  { return t.native.Busy() }
+func (t *adaptedT) StateKey() string            { return t.native.StateKey() }
+func (t *adaptedT) StateSize() int              { return t.native.StateSize() }
+func (t *adaptedT) Clone() protocol.Transmitter {
+	return &adaptedT{native: t.native.Clone(), s: t.s}
+}
+
+// ControlKey implements the transmitter-side quotient. The proof obligation
+// (two states with equal ControlKey behave identically and have equal-key
+// successors) rests on the window invariant both senders maintain: in-flight
+// segments carry consecutive sequence numbers starting at base, and
+// next == base + len(segs), so base's residue plus the per-segment residues
+// determine every future header and every ack resolution.
+func (t *adaptedT) ControlKey() string {
+	if t.s == 0 {
+		return t.native.StateKey()
+	}
+	switch n := t.native.(type) {
+	case *swSender:
+		return senderQuotient("swS/", n.s, n.w, n.base, n.rr, n.segs, n.queue, true)
+	case *gbnSender:
+		return senderQuotient("gbnS/", n.s, n.w, n.base, n.rr, n.segs, n.queue, false)
+	default:
+		return t.native.StateKey()
+	}
+}
+
+// senderQuotient renders the shared sender control key: base mod S, the
+// in-flight segments as (seq mod S, payload[, acked]) triples, the
+// round-robin cursor and the unadmitted queue. acked is rendered only for
+// the sliding-window sender; go-back-N slides cumulatively and keeps no
+// per-segment ack marks.
+func senderQuotient(prefix string, s, w, base, rr int, segs []segment, queue []string, acked bool) string {
+	var b strings.Builder
+	b.WriteString(prefix)
+	b.WriteString("{s=")
+	b.WriteString(strconv.Itoa(s))
+	b.WriteString(" w=")
+	b.WriteString(strconv.Itoa(w))
+	b.WriteString(" base%=")
+	b.WriteString(strconv.Itoa(base % s))
+	b.WriteString(" rr=")
+	b.WriteString(strconv.Itoa(rr))
+	b.WriteString(" segs=")
+	for _, sg := range segs {
+		b.WriteString(strconv.Itoa(sg.seq % s))
+		b.WriteByte(':')
+		b.WriteString(sg.payload)
+		if acked {
+			b.WriteByte(':')
+			b.WriteString(strconv.FormatBool(sg.acked))
+		}
+		b.WriteByte(';')
+	}
+	b.WriteString(" q=")
+	b.WriteString(strings.Join(queue, "|"))
+	b.WriteByte('}')
+	return b.String()
+}
+
+// adaptedR is the receiver-side analogue of adaptedT.
+type adaptedR struct {
+	native protocol.Receiver
+	s      int
+}
+
+var (
+	_ protocol.Receiver     = (*adaptedR)(nil)
+	_ protocol.ControlKeyer = (*adaptedR)(nil)
+)
+
+func (r *adaptedR) DeliverPkt(p ioa.Packet)     { r.native.DeliverPkt(p) }
+func (r *adaptedR) NextPkt() (ioa.Packet, bool) { return r.native.NextPkt() }
+func (r *adaptedR) TakeDelivered() []string     { return r.native.TakeDelivered() }
+func (r *adaptedR) StateKey() string            { return r.native.StateKey() }
+func (r *adaptedR) StateSize() int              { return r.native.StateSize() }
+func (r *adaptedR) Clone() protocol.Receiver {
+	return &adaptedR{native: r.native.Clone(), s: r.s}
+}
+
+// ControlKey implements the receiver-side quotient: next's residue mod S
+// (the only way resolve/accept read it), the reorder buffer as
+// window-relative offsets, and the pending ack and delivery queues verbatim
+// — ack headers are already mod-S reduced, and both queues are drained by
+// every driver in the repo, so neither reintroduces unbounded state.
+//
+// The go-back-N receiver needs one extra bit: whether any segment has been
+// accepted yet. Its cumulative re-ack fires only once next > 0, so next=0
+// and next=S (both residue 0) would otherwise be merged despite behaving
+// differently on an out-of-order delivery.
+func (r *adaptedR) ControlKey() string {
+	if r.s == 0 {
+		return r.native.StateKey()
+	}
+	switch n := r.native.(type) {
+	case *swReceiver:
+		var b strings.Builder
+		b.WriteString("swR/{s=")
+		b.WriteString(strconv.Itoa(n.s))
+		b.WriteString(" w=")
+		b.WriteString(strconv.Itoa(n.w))
+		b.WriteString(" next%=")
+		b.WriteString(strconv.Itoa(n.next % n.s))
+		b.WriteString(" buf=")
+		for _, sg := range n.buf {
+			b.WriteString(strconv.Itoa(sg.seq - n.next)) // window-relative offset
+			b.WriteByte(':')
+			b.WriteString(sg.payload)
+			b.WriteByte(';')
+		}
+		quotientQueues(&b, n.acks, n.delivered)
+		return b.String()
+	case *gbnReceiver:
+		var b strings.Builder
+		b.WriteString("gbnR/{s=")
+		b.WriteString(strconv.Itoa(n.s))
+		b.WriteString(" next%=")
+		b.WriteString(strconv.Itoa(n.next % n.s))
+		b.WriteString(" started=")
+		b.WriteString(strconv.FormatBool(n.next > 0))
+		quotientQueues(&b, n.acks, n.delivered)
+		return b.String()
+	default:
+		return r.native.StateKey()
+	}
+}
+
+// quotientQueues renders the pending ack headers and undelivered payloads
+// into a receiver control key and closes the brace.
+func quotientQueues(b *strings.Builder, acks []ioa.Packet, delivered []string) {
+	b.WriteString(" acks=")
+	for _, a := range acks {
+		b.WriteString(a.Header)
+		b.WriteByte(';')
+	}
+	b.WriteString(" deliv=")
+	b.WriteString(strings.Join(delivered, "|"))
+	b.WriteByte('}')
+}
+
+// Registry returns the default adapted transport protocols keyed by name —
+// the instances `nfvet audit -all` certifies and CI fuzz-smokes. The
+// classical selective-repeat sizing S = 2W covers both endpoint families
+// (go-back-N's bufferless receiver keeps its joint space small enough to
+// also carry the S = 8 sizing within the default state budget), and the
+// unbounded sliding window is the transport layer's CONSISTENT specimen —
+// the Theorem 3.1 dichotomy, one audit table row apart. Arbitrary sizings
+// resolve through Parse.
+func Registry() map[string]protocol.Protocol {
+	ps := []protocol.Protocol{
+		MustAdapt(New(4, 2)),
+		MustAdapt(New(0, 2)),
+		MustAdapt(NewGoBackN(4, 2)),
+		MustAdapt(NewGoBackN(8, 4)),
+	}
+	m := make(map[string]protocol.Protocol, len(ps))
+	for _, p := range ps {
+		m[p.Name()] = p
+	}
+	return m
+}
+
+// Names returns the default registry names in sorted order.
+func Names() []string {
+	m := Registry()
+	out := make([]string, 0, len(m))
+	//nfvet:allow maprange (keys are collected then sorted before use)
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Parse resolves a transport protocol name — the Name() forms
+// "swindow-s<S>-w<W>", "swindow-unbounded-w<W>", "gbn-s<S>-w<W>",
+// "gbn-unbounded-w<W>" — to its adapted protocol. ok is false when the name
+// is not a transport name; a malformed transport-shaped name also returns
+// ok=false and falls through to the caller's unknown-name error.
+func Parse(name string) (protocol.Protocol, bool) {
+	var rest string
+	var mk func(s, w int) protocol.Protocol
+	switch {
+	case strings.HasPrefix(name, "swindow-"):
+		rest = strings.TrimPrefix(name, "swindow-")
+		mk = func(s, w int) protocol.Protocol { return MustAdapt(New(s, w)) }
+	case strings.HasPrefix(name, "gbn-"):
+		rest = strings.TrimPrefix(name, "gbn-")
+		mk = func(s, w int) protocol.Protocol { return MustAdapt(NewGoBackN(s, w)) }
+	default:
+		return nil, false
+	}
+	var s int
+	if u, ok := strings.CutPrefix(rest, "unbounded-"); ok {
+		rest = u
+	} else {
+		sPart, wPart, ok := strings.Cut(rest, "-")
+		if !ok {
+			return nil, false
+		}
+		digits, ok := strings.CutPrefix(sPart, "s")
+		if !ok {
+			return nil, false
+		}
+		n, err := strconv.Atoi(digits)
+		if err != nil || n <= 0 {
+			return nil, false
+		}
+		s, rest = n, wPart
+	}
+	digits, ok := strings.CutPrefix(rest, "w")
+	if !ok {
+		return nil, false
+	}
+	w, err := strconv.Atoi(digits)
+	if err != nil || w < 1 {
+		return nil, false
+	}
+	return mk(s, w), true
+}

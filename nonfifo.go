@@ -419,3 +419,19 @@ type (
 // Theorems 3.1/4.1 presuppose. A zero-valued cfg uses the defaults
 // (occupancy 2, 65536-state budget).
 func AuditProtocol(p Protocol, cfg AuditConfig) *AuditReport { return analyze.Audit(p, cfg) }
+
+// Occupancy sweep (see internal/analyze and `nfvet audit -sweep`).
+type (
+	// SweepConfig bounds one occupancy sweep.
+	SweepConfig = analyze.SweepConfig
+	// SweepReport is the k_t/k_r-vs-occupancy curve for one protocol.
+	SweepReport = analyze.SweepReport
+)
+
+// AuditSweep audits the protocol at occupancy caps 1..cfg.MaxOccupancy and
+// returns the k_t/k_r curve — the empirical face of Theorem 2.1: the
+// pumping bound k_t·k_r a bounded protocol exposes can only grow with the
+// channel's buffering, and plateaus once the cap covers the whole window.
+// Use SweepReport.CheckMonotone to verify that shape and
+// analyze.SweepTable (via `nfvet audit -sweep`) for the TSV rendering.
+func AuditSweep(p Protocol, cfg SweepConfig) *SweepReport { return analyze.Sweep(p, cfg) }
