@@ -1,0 +1,172 @@
+// Command nfbench measures the throughput of the repo's two exploration
+// engines and writes the measurements as a JSON artifact:
+//
+//   - verify: bounded configuration-space exploration (internal/verify),
+//     reported as explored configurations per second. One exhaustive proof
+//     (seqnum at the default bounds) and one budget-bounded run (cntexp,
+//     whose counters make the space effectively unbounded) bracket the
+//     small-graph and big-graph regimes.
+//   - fuzz: coverage-guided schedule fuzzing (internal/fuzz), reported as
+//     input executions per second on the altbit specimen.
+//
+// The engines themselves are clock-free (the wallclock lint bans ambient
+// time reads in internal/verify and internal/fuzz); all timing lives here
+// in the command, wrapped around deterministic runs. The workloads are
+// fixed-size and seeded, so the work per run is identical across machines —
+// only the elapsed time varies. Checked-in BENCH_*.json files record a
+// reference machine; regenerate with:
+//
+//	go run ./cmd/nfbench -label <machine> -o BENCH_<machine>.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/fuzz"
+	"repro/internal/replay"
+	"repro/internal/verify"
+)
+
+// Benchmark is one measured workload.
+type Benchmark struct {
+	// Name identifies the engine and workload, e.g. "verify/cntexp".
+	Name string `json:"name"`
+	// Metric names what Rate counts per second.
+	Metric string `json:"metric"`
+	// Work is the total metric count the workload performed.
+	Work int64 `json:"work"`
+	// ElapsedMS is the wall-clock time in milliseconds.
+	ElapsedMS float64 `json:"elapsedMs"`
+	// Rate is Work divided by the elapsed seconds.
+	Rate float64 `json:"rate"`
+	// Detail summarizes the workload outcome (verdict, violations).
+	Detail string `json:"detail"`
+}
+
+// Artifact is the written JSON document.
+type Artifact struct {
+	Label      string      `json:"label"`
+	GoVersion  string      `json:"goVersion"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("nfbench", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		label       = fs.String("label", "dev", "machine/configuration label recorded in the artifact")
+		outPath     = fs.String("o", "", "write the JSON artifact to this path (default: stdout only)")
+		verifyBudgt = fs.Int("verifybudget", 1<<15, "state budget for the budget-bounded verify workload")
+		fuzzBudget  = fs.Int64("fuzzbudget", 20000, "execution budget for the fuzz workload")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	art := &Artifact{
+		Label:     *label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+
+	steps := []func() (Benchmark, error){
+		func() (Benchmark, error) { return benchVerify("seqnum", verify.Config{}) },
+		func() (Benchmark, error) {
+			return benchVerify("cntexp", verify.Config{MaxStates: *verifyBudgt})
+		},
+		func() (Benchmark, error) { return benchFuzz("altbit", *fuzzBudget) },
+	}
+	for _, step := range steps {
+		b, err := step()
+		if err != nil {
+			fmt.Fprintln(errw, "nfbench:", err)
+			return 1
+		}
+		fmt.Fprintf(out, "%-16s %12d %s in %8.1fms  (%10.0f/sec)  %s\n",
+			b.Name, b.Work, b.Metric, b.ElapsedMS, b.Rate, b.Detail)
+		art.Benchmarks = append(art.Benchmarks, b)
+	}
+
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fmt.Fprintln(errw, "nfbench:", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			fmt.Fprintln(errw, "nfbench:", err)
+			return 1
+		}
+		fmt.Fprintf(out, "wrote %s\n", *outPath)
+	} else {
+		out.Write(data)
+	}
+	return 0
+}
+
+// benchVerify times one bounded-exploration run and reports explored
+// configurations per second.
+func benchVerify(name string, cfg verify.Config) (Benchmark, error) {
+	p, err := replay.LookupProtocol(name)
+	if err != nil {
+		return Benchmark{}, err
+	}
+	start := time.Now()
+	rep, err := verify.Run(p, cfg)
+	elapsed := time.Since(start)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("verify %s: %w", name, err)
+	}
+	return Benchmark{
+		Name:      "verify/" + name,
+		Metric:    "configs",
+		Work:      int64(rep.States),
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+		Rate:      rate(int64(rep.States), elapsed),
+		Detail:    fmt.Sprintf("verdict=%s edges=%d", rep.Verdict, rep.Edges),
+	}, nil
+}
+
+// benchFuzz times one seeded single-worker fuzz campaign and reports input
+// executions per second.
+func benchFuzz(name string, budget int64) (Benchmark, error) {
+	p, err := replay.LookupProtocol(name)
+	if err != nil {
+		return Benchmark{}, err
+	}
+	start := time.Now()
+	res, err := fuzz.Run(fuzz.Config{Protocol: p, Budget: budget, Seed: 1, Workers: 1})
+	elapsed := time.Since(start)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("fuzz %s: %w", name, err)
+	}
+	return Benchmark{
+		Name:      "fuzz/" + name,
+		Metric:    "execs",
+		Work:      res.Execs,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+		Rate:      rate(res.Execs, elapsed),
+		Detail:    fmt.Sprintf("corpus=%d violations=%d", res.CorpusSize, len(res.Violations)),
+	}, nil
+}
+
+func rate(work int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(work) / elapsed.Seconds()
+}

@@ -19,6 +19,13 @@
 //	                         swindow-s<S>-w<W>, gbn-s<S>-w<W>)
 //	nfvet audit -sweep -all  emit the k_t/k_r-vs-occupancy curve as a TSV
 //	                         table (Theorem 2.1's pumping bound vs the cap)
+//	nfvet audit -swsweep     audit the transport (S, W) grid at a fixed
+//	                         occupancy and emit k_t/k_r against S·W as a
+//	                         TSV table (the pumping bound vs the sizing)
+//	nfvet verify -all        exhaustively explore each protocol's bounded
+//	                         configuration space: PROVE DL-safety up to the
+//	                         occupancy/message bounds, or emit a
+//	                         replay-confirmed NFT counterexample
 //	nfvet help               analyzer catalog
 //
 // The audit enumerates the joint control states (q_t, q_r) reachable under
@@ -56,6 +63,8 @@ func run(args []string, out, errw io.Writer) int {
 		return runCheck(args[1:], out, errw)
 	case "audit":
 		return runAudit(args[1:], out, errw)
+	case "verify":
+		return runVerify(args[1:], out, errw)
 	case "help", "-h", "-help", "--help":
 		usage(out)
 		for _, a := range analyze.Analyzers() {
@@ -72,6 +81,8 @@ func usage(w io.Writer) {
 	fmt.Fprint(w, `usage:
   nfvet check [packages]                      lint packages (default ./...)
   nfvet audit [-all | names...] [options]     audit protocol boundness
+  nfvet verify [-all | names...] [options]    prove DL-safety up to bounds,
+                                              or emit a replayable witness
   nfvet help                                  analyzer catalog
   go vet -vettool=/path/to/nfvet ./...        lint via the go vet driver
 `)
@@ -121,9 +132,14 @@ func runAudit(args []string, out, errw io.Writer) int {
 		maxStates = fs.Int("maxstates", 1<<16, "joint-state enumeration budget")
 		sweep     = fs.Bool("sweep", false, "emit the k_t/k_r-vs-occupancy TSV curve instead of verdict reports")
 		maxOcc    = fs.Int("maxocc", 4, "largest occupancy cap swept (with -sweep)")
+		swsweep   = fs.Bool("swsweep", false, "emit the transport (S, W) grid as a k_t/k_r-vs-S*W TSV table")
+		maxS      = fs.Int("maxs", 8, "largest sequence space audited (with -swsweep)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *swsweep {
+		return runSWSweep(*maxS, analyze.AuditConfig{Occupancy: *occupancy, MaxStates: *maxStates}, out, errw)
 	}
 	names := fs.Args()
 	if *all {

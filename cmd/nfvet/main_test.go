@@ -1,11 +1,15 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/replay"
+	"repro/internal/trace"
 )
 
 func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
@@ -95,6 +99,109 @@ func TestAuditSweep(t *testing.T) {
 		if !strings.Contains(stdout, want) {
 			t.Errorf("sweep table lacks a %q row:\n%s", want, stdout)
 		}
+	}
+}
+
+func TestAuditSWSweep(t *testing.T) {
+	code, stdout, stderr := runCmd(t, "audit", "-swsweep", "-maxs", "4", "-maxstates", "16384")
+	if code != 0 {
+		t.Fatalf("audit -swsweep exited %d: %s", code, stderr)
+	}
+	lines := strings.Split(strings.TrimRight(stdout, "\n"), "\n")
+	if len(lines) < 2 || lines[1] != "family\tS\tW\tS*W\tk_t\tk_r\tk_t*k_r\tstates\texhausted" {
+		t.Fatalf("swsweep table header drifted:\n%s", stdout)
+	}
+	// maxs=4 grid: (S=2, W=1) and (S=4, W=1..2) per family — 6 data rows.
+	if len(lines) != 8 {
+		t.Fatalf("want 6 data rows, got %d:\n%s", len(lines)-2, stdout)
+	}
+	for _, want := range []string{
+		"swindow\t2\t1\t2\t", "swindow\t4\t2\t8\t",
+		"gbn\t2\t1\t2\t", "gbn\t4\t2\t8\t",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("swsweep table lacks a %q row:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestSWSweepGridSizing(t *testing.T) {
+	for _, r := range swSweepGrid(8) {
+		if 2*r.W > r.S {
+			t.Errorf("grid emitted undersized space %s S=%d W=%d (needs S >= 2W)", r.Family, r.S, r.W)
+		}
+	}
+	if n := len(swSweepGrid(8)); n != 20 {
+		t.Errorf("maxs=8 grid has %d points, want 20 (10 per family)", n)
+	}
+}
+
+func TestVerifyProvesSoundProtocol(t *testing.T) {
+	code, stdout, stderr := runCmd(t, "verify", "seqnum")
+	if code != 0 {
+		t.Fatalf("verify seqnum exited %d: %s", code, stderr)
+	}
+	for _, want := range []string{"verdict:    PROVED", "check:      CERTIFIED", "(exhausted)"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("report lacks %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestVerifyWritesReplayableWitness(t *testing.T) {
+	// -o points at a directory that does not exist yet: verify must create it.
+	dir := filepath.Join(t.TempDir(), "certs")
+	code, stdout, stderr := runCmd(t, "verify", "-o", dir, "altbit")
+	if code != 0 {
+		t.Fatalf("verify altbit exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "VIOLATED (DL1)") {
+		t.Fatalf("altbit not violated:\n%s", stdout)
+	}
+	path := filepath.Join(dir, "altbit-DL1.nft")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("witness file: %v", err)
+	}
+	defer f.Close()
+	wl, err := trace.ReadLog(f)
+	if err != nil {
+		t.Fatalf("witness decode: %v", err)
+	}
+	rr, err := replay.Run(wl)
+	if err != nil {
+		t.Fatalf("witness replay: %v", err)
+	}
+	if rr.Divergence != nil || rr.Verdict == nil || rr.Verdict.Property != "DL1" {
+		t.Fatalf("witness does not reproduce DL1: divergence=%v verdict=%v", rr.Divergence, rr.Verdict)
+	}
+}
+
+func TestVerifyJSONReport(t *testing.T) {
+	code, stdout, stderr := runCmd(t, "verify", "-json", "seqnum")
+	if code != 0 {
+		t.Fatalf("verify -json exited %d: %s", code, stderr)
+	}
+	var rep struct {
+		Protocol  string `json:"protocol"`
+		Verdict   string `json:"verdict"`
+		Check     string `json:"check"`
+		Exhausted bool   `json:"exhausted"`
+		SpaceHash string `json:"spaceHash"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, stdout)
+	}
+	if rep.Protocol != "seqnum" || rep.Verdict != "PROVED" || rep.Check != "CERTIFIED" ||
+		!rep.Exhausted || rep.SpaceHash == "" {
+		t.Fatalf("JSON report fields drifted: %+v", rep)
+	}
+}
+
+func TestVerifyUnknownProtocol(t *testing.T) {
+	code, _, stderr := runCmd(t, "verify", "nosuch")
+	if code != 2 || !strings.Contains(stderr, "unknown protocol") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
 	}
 }
 

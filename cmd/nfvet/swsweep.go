@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/analyze"
+	"repro/internal/transport"
+)
+
+// The (S, W) sweep charts the transport-layer reading of Theorem 2.1: the
+// joint control-state count k_t·k_r the pumping adversary must exceed is a
+// function of the protocol's configuration, and for sliding-window
+// transports that configuration is the sequence space S and the window W.
+// Auditing the grid at a fixed occupancy cap shows k_t·k_r growing with the
+// S·W product (more live sequence numbers times more in-flight segments =
+// more distinguishable control states), which is exactly why bounded
+// headers buy only bounded protection: the adversary's pumping budget
+// scales with S·W, not with the message count.
+
+// swRow is one audited grid point.
+type swRow struct {
+	Family string // "swindow" or "gbn"
+	S, W   int
+	Report *analyze.AuditReport
+}
+
+// swSweepGrid enumerates the audited grid: both transport families, every
+// sequence space S in 2..maxS (even values — the classical S ≥ 2W sizing
+// needs room for at least one window), every window W with 2W ≤ S.
+func swSweepGrid(maxS int) []swRow {
+	var rows []swRow
+	for _, family := range []string{"swindow", "gbn"} {
+		for s := 2; s <= maxS; s += 2 {
+			for w := 1; 2*w <= s; w++ {
+				rows = append(rows, swRow{Family: family, S: s, W: w})
+			}
+		}
+	}
+	return rows
+}
+
+// runSWSweep audits the (S, W) grid of both transport families at a fixed
+// occupancy cap and prints one TSV table of k_t/k_r against S·W. Rows are
+// ordered by family, then S·W, then S — the order in which the pumping
+// bound is expected to grow. Within a family at fixed W the k_t·k_r of
+// exhausted audits must be non-decreasing in S; a decrease means the
+// control-state space shrank as sequence numbers were added, which would
+// contradict the sizing argument and fails the sweep.
+func runSWSweep(maxS int, cfg analyze.AuditConfig, out, errw io.Writer) int {
+	if maxS < 2 {
+		maxS = 2
+	}
+	rows := swSweepGrid(maxS)
+	for i := range rows {
+		name := fmt.Sprintf("%s-s%d-w%d", rows[i].Family, rows[i].S, rows[i].W)
+		p, ok := transport.Parse(name)
+		if !ok {
+			fmt.Fprintf(errw, "nfvet audit: cannot build transport %q\n", name)
+			return 2
+		}
+		rows[i].Report = analyze.Audit(p, cfg)
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Family != rows[j].Family {
+			return rows[i].Family < rows[j].Family
+		}
+		if rows[i].S*rows[i].W != rows[j].S*rows[j].W {
+			return rows[i].S*rows[i].W < rows[j].S*rows[j].W
+		}
+		return rows[i].S < rows[j].S
+	})
+
+	fmt.Fprint(out, swSweepTable(rows, cfg))
+
+	bad := 0
+	for _, family := range []string{"swindow", "gbn"} {
+		for w := 1; 2*w <= maxS; w++ {
+			prevS, prevKK := 0, -1
+			for _, r := range rows {
+				if r.Family != family || r.W != w || !r.Report.Exhausted {
+					continue
+				}
+				kk := r.Report.KT * r.Report.KR
+				if prevKK >= 0 && kk < prevKK {
+					fmt.Fprintf(errw, "nfvet audit: %s w=%d: k_t*k_r drops from %d (S=%d) to %d (S=%d)\n",
+						family, w, prevKK, prevS, kk, r.S)
+					bad++
+				}
+				prevS, prevKK = r.S, kk
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(errw, "nfvet audit: %d (S, W) curve(s) are non-monotone in S\n", bad)
+		return 1
+	}
+	return 0
+}
+
+// swSweepTable renders the grid as a TSV table, one row per audited
+// configuration.
+func swSweepTable(rows []swRow, cfg analyze.AuditConfig) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# transport (S, W) sweep: occupancy=%d maxstates=%d\n",
+		cfg.Occupancy, cfg.MaxStates)
+	b.WriteString("family\tS\tW\tS*W\tk_t\tk_r\tk_t*k_r\tstates\texhausted\n")
+	for _, r := range rows {
+		rep := r.Report
+		fmt.Fprintf(&b, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%v\n",
+			r.Family, r.S, r.W, r.S*r.W, rep.KT, rep.KR, rep.KT*rep.KR,
+			rep.States, rep.Exhausted)
+	}
+	return b.String()
+}

@@ -188,6 +188,7 @@ var deterministicPackages = []string{
 	"internal/replay",
 	"internal/sim",
 	"internal/trace",
+	"internal/verify",
 }
 
 // mapOrderCriticalPackages extends the deterministic set with the

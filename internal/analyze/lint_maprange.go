@@ -27,7 +27,7 @@ func MapRangeAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "maprange",
 		Doc: "forbid map iteration on determinism-critical paths: no `range` over " +
-			"maps in internal/{mset,protocol,adversary,channel,core,fuzz,replay,sim,trace} " +
+			"maps in internal/{mset,protocol,adversary,channel,core,fuzz,replay,sim,trace,verify} " +
 			"non-test code (annotate provably order-insensitive sites with " +
 			"//nfvet:allow maprange), and no `range Registry()` anywhere — iterate " +
 			"protocol.Names() instead",

@@ -28,7 +28,7 @@ func WallclockAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "wallclock",
 		Doc: "forbid time.Now/time.Since and friends in deterministic packages " +
-			"(internal/{adversary,channel,core,fuzz,replay,sim,trace}); replayed and " +
+			"(internal/{adversary,channel,core,fuzz,replay,sim,trace,verify}); replayed and " +
 			"fuzzed executions must not observe the ambient clock — inject a clock " +
 			"through configuration instead, and mark the injection seam's default " +
 			"with //nfvet:allow wallclock",

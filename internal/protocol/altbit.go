@@ -37,6 +37,12 @@ func (AltBit) HeaderBound() (int, bool) { return 4, true }
 // pumping bound — and to the replay attack that breaks it.
 func (AltBit) Bounds() Bounds { return Bounds{StateBounded: true, KT: 4, KR: 2, Headers: 4} }
 
+// AttackBounds implements DLStatus. The classic replay attack needs a stale
+// d-packet with the currently expected bit, which requires the bit to cycle
+// back: three messages (m0 delayed, m1 accepted, m2 expected but the stale
+// m0 copy arrives first) and two copies in transit on the data channel.
+func (AltBit) AttackBounds() (int, int) { return 2, 3 }
+
 // New implements Protocol. The genies are ignored: the alternating bit
 // protocol has no channel oracle (which is exactly why it is unsafe here).
 func (AltBit) New(_, _ channel.Genie) (Transmitter, Receiver) {

@@ -58,6 +58,11 @@ func (p CntK) Bounds() Bounds {
 	return Bounds{StateBounded: true, Headers: 2 * k}
 }
 
+// AttackBounds implements DLStatus: (0, 0) — the per-header snapshot
+// argument makes every phase's threshold outnumber its stale copies,
+// independent of K.
+func (CntK) AttackBounds() (int, int) { return 0, 0 }
+
 // New implements Protocol.
 func (p CntK) New(dataGenie, ackGenie channel.Genie) (Transmitter, Receiver) {
 	if dataGenie == nil {

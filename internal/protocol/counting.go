@@ -81,6 +81,10 @@ func (CntLinear) HeaderBound() (int, bool) { return 4, true }
 // space under bounded occupancy is finite.
 func (CntLinear) Bounds() Bounds { return Bounds{StateBounded: true, Headers: 4} }
 
+// AttackBounds implements DLStatus: (0, 0) — the genie-snapshot threshold
+// outnumbers every stale copy, so no occupancy admits a DL violation.
+func (CntLinear) AttackBounds() (int, int) { return 0, 0 }
+
 // New implements Protocol.
 func (CntLinear) New(dataGenie, ackGenie channel.Genie) (Transmitter, Receiver) {
 	return newCountingPair(modeLinear, 0, dataGenie, ackGenie)
@@ -104,6 +108,10 @@ func (CntExp) HeaderBound() (int, bool) { return 4, true }
 // bound with channel history. Declared unbounded; the auditor verifies the
 // enumeration indeed blows past any fixed state budget.
 func (CntExp) Bounds() Bounds { return Bounds{StateBounded: false, Headers: 4} }
+
+// AttackBounds implements DLStatus: (0, 0) — the pessimistic threshold is
+// never below the safe one, so the protocol inherits cntlinear's safety.
+func (CntExp) AttackBounds() (int, int) { return 0, 0 }
 
 // New implements Protocol.
 func (CntExp) New(dataGenie, ackGenie channel.Genie) (Transmitter, Receiver) {
@@ -134,6 +142,12 @@ func (Cheat) HeaderBound() (int, bool) { return 4, true }
 // lowered threshold breaks DL1, not boundness.
 func (Cheat) Bounds() Bounds { return Bounds{StateBounded: true, Headers: 4} }
 
+// AttackBounds implements DLStatus. Exploiting the under-provisioned
+// threshold needs a phase whose stale snapshot is positive — the expected
+// bit must cycle back with an old copy still in transit — so two copies on
+// the data channel and three messages suffice for every D ≥ 1.
+func (Cheat) AttackBounds() (int, int) { return 2, 3 }
+
 // New implements Protocol.
 func (c Cheat) New(dataGenie, ackGenie channel.Genie) (Transmitter, Receiver) {
 	return newCountingPair(modeCheat, c.D, dataGenie, ackGenie)
@@ -161,6 +175,12 @@ func (CntNoBind) HeaderBound() (int, bool) { return 4, true }
 // Bounds implements Bounded: the pooled counter makes the receiver strictly
 // smaller than cntlinear's; boundness is unaffected by the ablation.
 func (CntNoBind) Bounds() Bounds { return Bounds{StateBounded: true, Headers: 4} }
+
+// AttackBounds implements DLStatus. The pooled counter lets fresh copies
+// raise the count until a stale copy crosses the threshold and its stale
+// payload is delivered; as for Cheat, the expected bit must cycle back with
+// an old copy in transit: two data-channel copies and three messages.
+func (CntNoBind) AttackBounds() (int, int) { return 2, 3 }
 
 // New implements Protocol.
 func (CntNoBind) New(dataGenie, ackGenie channel.Genie) (Transmitter, Receiver) {

@@ -27,6 +27,11 @@ func (Livelock) HeaderBound() (int, bool) { return 1, true }
 // k_t·k_r pumping bound bites hardest on.
 func (Livelock) Bounds() Bounds { return Bounds{StateBounded: true, KT: 2, KR: 1, Headers: 1} }
 
+// AttackBounds implements DLStatus: the livelock is immediate — one message
+// and a single in-transit packet already admit a no-progress cycle (the
+// transmitter resends forever and the receiver never delivers).
+func (Livelock) AttackBounds() (int, int) { return 1, 1 }
+
 // New implements Protocol.
 func (Livelock) New(_, _ channel.Genie) (Transmitter, Receiver) {
 	return &livelockT{}, &livelockR{}

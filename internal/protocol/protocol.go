@@ -134,6 +134,23 @@ type Bounded interface {
 	Bounds() Bounds
 }
 
+// DLStatus is an optional Protocol extension declaring the protocol's
+// expected data-link verdict over non-FIFO channels, checked by the
+// bounded reachability verifier (internal/verify, `nfvet verify`). It is
+// the safety analogue of Bounds: where Bounds declares the control-space
+// envelope the audit enumerates, DLStatus declares whether exhaustive
+// exploration of that space is expected to find a DL violation at all.
+type DLStatus interface {
+	// AttackBounds returns the smallest (per-channel occupancy cap,
+	// message count) at which a DL1/DL3 violation is expected to be
+	// reachable. (0, 0) declares the protocol DL-sound at every occupancy:
+	// the verifier FAILs the protocol if it finds a counterexample.
+	// Nonzero bounds declare the protocol attackable: the verifier FAILs
+	// the protocol if it exhausts a space at least that large without
+	// finding the violation.
+	AttackBounds() (occupancy, messages int)
+}
+
 // ControlKeyer is an optional endpoint extension returning the *control
 // state* key: StateKey quotiented by bookkeeping that grows without bound
 // but never influences behavior — a phase counter the automaton only reads

@@ -38,6 +38,11 @@ func (SeqNum) HeaderBound() (int, bool) { return 0, false }
 // protocol's escape from Theorem 2.1 — no finite k_t·k_r exists to pump.
 func (SeqNum) Bounds() Bounds { return Bounds{StateBounded: false} }
 
+// AttackBounds implements DLStatus: (0, 0) — private per-message headers
+// make stale copies harmless at every occupancy, so the verifier must prove
+// DL-safety of any space it can exhaust.
+func (SeqNum) AttackBounds() (int, int) { return 0, 0 }
+
 // New implements Protocol; the genies are ignored (no oracle needed).
 func (SeqNum) New(_, _ channel.Genie) (Transmitter, Receiver) {
 	return &seqNumT{}, &seqNumR{}

@@ -8,16 +8,19 @@ package replay
 // iterate forever, so no continuation ever delivers the stranded message.
 //
 // CloseDrive builds the quiescence-forcing closing extension: replay the
-// trace, then switch the channels to the optimal behaviour (deliver
-// everything, Reliable policies) and keep driving the protocol — transmitter
-// steps and ack drains only, no new send_msg — until it either goes
-// quiescent, repeats a joint configuration, or exhausts the round budget.
-// Because the drive is deterministic and the cycle key includes the full
-// joint configuration (both endpoint state keys, both channels' multiset
-// contents, and the delivery count), a repeated key means the system will
-// loop through exactly those configurations forever: the stranded message is
-// never delivered under *any* continuation the protocol itself can produce,
-// even with the physical layer behaving optimally. That is a livelock.
+// trace, then switch the channels to the mode's closing behaviour (Reliable
+// delivers everything; adversarial drops everything) and keep driving the
+// protocol — transmitter steps and ack drains only, no new send_msg — until
+// it either goes quiescent, repeats a joint configuration, or exhausts the
+// round budget. Because the drive is deterministic and the cycle key
+// includes the full joint configuration (both endpoint state keys, both
+// channels' multiset contents, and the delivery count), a repeated key means
+// the system will loop through exactly those configurations forever: the
+// stranded message is never delivered under *any* continuation the closing
+// channel produces. Under the reliable closure that is the paper's livelock
+// — the protocol fails even with the physical layer behaving optimally.
+// Under the adversarial closure it certifies the *schedule*: the recorded
+// channel behaviour, continued, pins the protocol in a no-progress loop.
 //
 // CertifyLivelock packages the find as a LivelockCert{prefix, cycle} and
 // then *checks its own work*: the cycle is pumped N times into an ordinary
@@ -48,11 +51,15 @@ const (
 	// own fault — the paper's livelock notion.
 	DriveReliable DriveMode = iota
 	// DriveAdversarial closes the trace under the fully adversarial physical
-	// layer, which delivers nothing further: the trace's own end is the
-	// quiescent point. A DL3 failure under this mode blames the channel
-	// behaviour recorded in the trace, not the protocol — it is the oracle
-	// for shrinking stranded-message *schedules* (which a correct protocol
-	// would recover from, given a fair channel).
+	// layer, which delivers nothing further: every packet the drive sends is
+	// dropped on arrival, so the joint configuration can only shrink or
+	// repeat, never grow. The drive still steps the transmitter and drains
+	// acks under this closure, and a repeated configuration certifies a
+	// cycle *under the recorded schedule*: the channel behaviour captured in
+	// the trace, continued adversarially, pins the protocol in a no-progress
+	// loop. A DL3 failure under this mode blames the schedule, not the
+	// protocol — it is the oracle for shrinking stranded-message schedules
+	// (which a correct protocol would recover from, given a fair channel).
 	DriveAdversarial
 )
 
@@ -76,7 +83,7 @@ const DefaultDriveBudget = 512
 type DriveOutcome struct {
 	// Mode is the drive mode that produced this outcome.
 	Mode DriveMode
-	// Rounds counts the executed drive rounds (always 0 for adversarial).
+	// Rounds counts the executed drive rounds.
 	Rounds int
 	// Quiescent is set when the transmitter went idle: every accepted
 	// message was confirmed, nothing more will happen.
@@ -140,29 +147,30 @@ func CloseDrive(l *trace.Log, mode DriveMode, budget int) (*DriveOutcome, error)
 
 	if mode == DriveReliable {
 		r.SetPolicies(channel.Reliable(), channel.Reliable())
-		seen := make(map[string]int) // joint configuration -> event index at first sighting
-		for out.Rounds < budget {
-			if !r.T.Busy() {
-				out.Quiescent = true
-				break
-			}
-			key := driveKey(r)
-			if at, ok := seen[key]; ok {
-				out.CycleFound = true
-				out.RepeatedKey = key
-				out.CycleStart = at
-				out.CycleEnd = len(rd.log.Events)
-				break
-			}
-			seen[key] = len(rd.log.Events)
-			r.StepTransmit()
-			r.DrainAcks()
-			out.Rounds++
-		}
 	} else {
-		// Adversarial: the channel delivers nothing further, so the closing
-		// extension is empty and the trace's end is the quiescent point.
-		out.Quiescent = !r.T.Busy()
+		// Adversarial: every packet sent from here on is dropped on arrival
+		// (DropEvery(1) drops the 1st, 2nd, ... — all of them), so the joint
+		// configuration cannot grow and the drive either quiesces or cycles.
+		r.SetPolicies(channel.DropEvery(1), channel.DropEvery(1))
+	}
+	seen := make(map[string]int) // joint configuration -> event index at first sighting
+	for out.Rounds < budget {
+		if !r.T.Busy() {
+			out.Quiescent = true
+			break
+		}
+		key := driveKey(r)
+		if at, ok := seen[key]; ok {
+			out.CycleFound = true
+			out.RepeatedKey = key
+			out.CycleStart = at
+			out.CycleEnd = len(rd.log.Events)
+			break
+		}
+		seen[key] = len(rd.log.Events)
+		r.StepTransmit()
+		r.DrainAcks()
+		out.Rounds++
 	}
 
 	run := r.Result()
@@ -185,6 +193,9 @@ const (
 	MetaLivelockCycleOps = "livelock-cycle-ops"
 	// MetaLivelockKey records the repeated joint configuration.
 	MetaLivelockKey = "livelock-key"
+	// MetaLivelockMode records the closing-drive mode the cycle was
+	// certified under ("reliable" or "adversarial").
+	MetaLivelockMode = "livelock-mode"
 )
 
 // LivelockCert is a certified livelock: a prefix that reaches a joint
@@ -195,6 +206,10 @@ const (
 type LivelockCert struct {
 	// Protocol is the certified protocol's name.
 	Protocol string
+	// Mode is the closing-drive mode the cycle was found under. Reliable
+	// certifies a protocol livelock (the paper's notion); adversarial
+	// certifies that the recorded schedule, continued, loops forever.
+	Mode DriveMode
 	// RepeatedKey is the repeated joint configuration (driveKey encoding).
 	RepeatedKey string
 	// Prefix reaches the repeated configuration; Cycle returns to it.
@@ -230,6 +245,7 @@ func (c *LivelockCert) Pumped(n int) *trace.Log {
 	p.SetMeta(MetaLivelockPump, strconv.Itoa(n))
 	p.SetMeta(MetaLivelockCycleOps, strconv.Itoa(c.CycleOps))
 	p.SetMeta(MetaLivelockKey, c.RepeatedKey)
+	p.SetMeta(MetaLivelockMode, c.Mode.String())
 	p.Events = append(p.Events, c.Prefix...)
 	for i := 0; i < n; i++ {
 		p.Events = append(p.Events, c.Cycle...)
@@ -240,6 +256,11 @@ func (c *LivelockCert) Pumped(n int) *trace.Log {
 
 // CertifyOptions tunes CertifyLivelock. The zero value is ready to use.
 type CertifyOptions struct {
+	// Mode selects the closing drive the cycle is certified under. The zero
+	// value is DriveReliable, the paper's livelock notion; DriveAdversarial
+	// certifies the cycle under the recorded schedule's drop-everything
+	// continuation instead.
+	Mode DriveMode
 	// DriveBudget bounds the closing drive's rounds; <= 0 means
 	// DefaultDriveBudget.
 	DriveBudget int
@@ -258,16 +279,17 @@ func (o CertifyOptions) withDefaults() CertifyOptions {
 	return o
 }
 
-// CertifyLivelock replays l, drives the reliable closing extension, and — if
-// the protocol strands a message while looping through a repeated joint
-// configuration — returns the pumping-lemma certificate. The certificate is
-// verified before it is returned: its cycle pumped opts.Pump times must
-// replay with zero divergence, stay safety-clean, and still fail the
-// quiescent DL3 check. Traces that recover, stall without a cycle, or
-// violate safety are refused with a diagnosis.
+// CertifyLivelock replays l, drives the closing extension selected by
+// opts.Mode (reliable by default), and — if the system strands a message
+// while looping through a repeated joint configuration — returns the
+// pumping-lemma certificate. The certificate is verified before it is
+// returned: its cycle pumped opts.Pump times must replay with zero
+// divergence, stay safety-clean, and still fail the quiescent DL3 check.
+// Traces that recover, stall without a cycle, or violate safety are refused
+// with a diagnosis.
 func CertifyLivelock(l *trace.Log, opts CertifyOptions) (*LivelockCert, error) {
 	opts = opts.withDefaults()
-	out, err := CloseDrive(l, DriveReliable, opts.DriveBudget)
+	out, err := CloseDrive(l, opts.Mode, opts.DriveBudget)
 	if err != nil {
 		return nil, err
 	}
@@ -276,8 +298,8 @@ func CertifyLivelock(l *trace.Log, opts CertifyOptions) (*LivelockCert, error) {
 			out.Safety.Property, out.Safety)
 	}
 	if out.DL3 == nil {
-		return nil, fmt.Errorf("replay: protocol recovers under the reliable closing drive (quiescent=%v after %d rounds, %d/%d delivered); no livelock to certify",
-			out.Quiescent, out.Rounds, out.Delivered, out.Submitted)
+		return nil, fmt.Errorf("replay: protocol recovers under the %s closing drive (quiescent=%v after %d rounds, %d/%d delivered); no livelock to certify",
+			opts.Mode, out.Quiescent, out.Rounds, out.Delivered, out.Submitted)
 	}
 	if !out.CycleFound {
 		return nil, fmt.Errorf("replay: %d message(s) stranded but no joint configuration repeated within %d drive rounds; cannot certify a pumping cycle",
@@ -285,6 +307,7 @@ func CertifyLivelock(l *trace.Log, opts CertifyOptions) (*LivelockCert, error) {
 	}
 	cert := &LivelockCert{
 		Protocol:    out.Log.Meta[trace.MetaProtocol],
+		Mode:        opts.Mode,
 		RepeatedKey: out.RepeatedKey,
 		Prefix:      append([]trace.Event(nil), out.Log.Events[:out.CycleStart]...),
 		Cycle:       append([]trace.Event(nil), out.Log.Events[out.CycleStart:out.CycleEnd]...),

@@ -163,11 +163,75 @@ func TestCloseDriveReliableRecoversStrandedMessage(t *testing.T) {
 	if adv.DL3 == nil {
 		t.Fatal("adversarial drive hides the stranded message")
 	}
-	if adv.Rounds != 0 {
-		t.Errorf("adversarial drive executed %d rounds, want 0", adv.Rounds)
+	// Under the drop-everything closure altbit keeps retransmitting into a
+	// channel that swallows every packet: the joint configuration repeats
+	// immediately and the drive certifies a schedule cycle.
+	if !adv.CycleFound {
+		t.Errorf("adversarial drive found no cycle after %d rounds", adv.Rounds)
+	}
+	if adv.Rounds == 0 {
+		t.Error("adversarial drive executed no rounds; drop-everything closure not driven")
+	}
+	if adv.Quiescent {
+		t.Error("adversarial drive reported quiescence with a message stranded")
 	}
 	if adv.Safety != nil {
 		t.Errorf("adversarial outcome reports safety violation: %v", adv.Safety)
+	}
+}
+
+// TestCertifyLivelockAdversarialMode certifies a cycle under the recorded
+// schedule: altbit strands a message when every data packet is delayed, and
+// the adversarial closing drive (drop everything from here on) pins it in a
+// retransmit loop. The reliable drive recovers the same trace, so this
+// certificate blames the schedule, not the protocol — and the pumped
+// artifact must say so in its meta.
+func TestCertifyLivelockAdversarialMode(t *testing.T) {
+	l := trace.NewLog(nil)
+	r := sim.NewRunner(sim.Config{
+		Protocol:    replayLookup(t, "altbit"),
+		DataPolicy:  channel.DelayAll(),
+		AckPolicy:   channel.Reliable(),
+		RecordTrace: true,
+		TraceLog:    l,
+	})
+	r.SubmitMsg("m0")
+	r.StepTransmit()
+
+	if _, err := CertifyLivelock(l, CertifyOptions{Mode: DriveReliable}); err == nil {
+		t.Fatal("reliable mode certified a trace altbit recovers from")
+	}
+
+	cert, err := CertifyLivelock(l, CertifyOptions{Mode: DriveAdversarial})
+	if err != nil {
+		t.Fatalf("CertifyLivelock adversarial: %v", err)
+	}
+	if cert.Mode != DriveAdversarial {
+		t.Errorf("cert mode = %v, want adversarial", cert.Mode)
+	}
+	if cert.CycleOps == 0 {
+		t.Error("cert has an empty cycle")
+	}
+	if cert.DL3 == nil {
+		t.Fatal("cert carries no DL3 violation")
+	}
+
+	p := cert.Pumped(4)
+	if got := p.Meta[MetaLivelockMode]; got != "adversarial" {
+		t.Errorf("pumped mode meta = %q, want adversarial", got)
+	}
+	rr, err := Run(p)
+	if err != nil {
+		t.Fatalf("replaying pumped adversarial cert: %v", err)
+	}
+	if rr.Divergence != nil {
+		t.Fatalf("pumped adversarial cert diverged: %v", rr.Divergence)
+	}
+	if rr.Verdict != nil {
+		t.Fatalf("pumped adversarial cert violates safety: %v", rr.Verdict)
+	}
+	if rr.DL3 == nil {
+		t.Fatal("pumped adversarial cert delivers everything; not a schedule cycle")
 	}
 }
 

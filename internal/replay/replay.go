@@ -199,6 +199,10 @@ func redriveWith(l *trace.Log, proto protocol.Protocol) (*redriven, error) {
 				// the move is infeasible and skipped.
 				rd.staleSkipped++
 			}
+		case trace.KindDropStale:
+			if err := r.DropStale(e.Dir, e.Pkt); err != nil {
+				rd.staleSkipped++
+			}
 		}
 	}
 	return rd, nil

@@ -365,6 +365,31 @@ func (r *Runner) DeliverStale(d ioa.Dir, p ioa.Packet) error {
 	return nil
 }
 
+// DropStale permanently discards one delayed in-transit copy of p on the
+// given channel — the adversary's loss move. A drop is indistinguishable
+// from an infinite delay to the endpoints themselves, but not to the
+// channel genies (stale-copy counts shrink), so the bounded verifier
+// (internal/verify) needs it as a first-class, replayable operation. It
+// fails if no copy is in transit.
+func (r *Runner) DropStale(d ioa.Dir, p ioa.Packet) error {
+	switch d {
+	case ioa.TtoR:
+		if err := r.ChData.Drop(p); err != nil {
+			return err
+		}
+	case ioa.RtoT:
+		if err := r.ChAck.Drop(p); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("sim: unknown direction %v", d)
+	}
+	if r.tlog != nil {
+		r.tlog.Emit(trace.Event{Kind: trace.KindDropStale, Dir: d, Pkt: p})
+	}
+	return nil
+}
+
 // recordStale logs the stale-delivery operation (before its receive_pkt
 // observation, so replay re-issues the op and then verifies the effect).
 func (r *Runner) recordStale(d ioa.Dir, p ioa.Packet) {

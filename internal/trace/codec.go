@@ -210,7 +210,7 @@ func appendEvent(b []byte, e Event) []byte {
 		b = appendString(b, e.Msg.Payload)
 	case KindTransmit, KindDrain:
 		// no fields
-	case KindStale, KindSendPkt, KindRecvPkt:
+	case KindStale, KindDropStale, KindSendPkt, KindRecvPkt:
 		b = append(b, byte(e.Dir))
 		b = appendString(b, e.Pkt.Header)
 		b = appendString(b, e.Pkt.Payload)
@@ -265,7 +265,7 @@ func readEvent(br *bufio.Reader) (Event, error) {
 		}
 	case KindTransmit, KindDrain:
 		// no fields
-	case KindStale, KindSendPkt, KindRecvPkt:
+	case KindStale, KindDropStale, KindSendPkt, KindRecvPkt:
 		db, err := br.ReadByte()
 		if err != nil {
 			return fail("dir", err)

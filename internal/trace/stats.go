@@ -18,6 +18,8 @@ type Stats struct {
 	DataRecvs, AckRecvs int
 	// Stales counts adversarial stale-copy deliveries.
 	Stales int
+	// StaleDrops counts adversarial in-transit drops (DropStale ops).
+	StaleDrops int
 	// Messages and Deliveries count send_msg and receive_msg actions.
 	Messages, Deliveries int
 	// Headers is the number of distinct packet headers observed.
@@ -65,6 +67,8 @@ func Collect(l *Log) Stats {
 			}
 		case KindStale:
 			s.Stales++
+		case KindDropStale:
+			s.StaleDrops++
 		case KindDecision:
 			s.Decisions[e.Decision]++
 		case KindVerdict:

@@ -68,6 +68,12 @@ const (
 	// KindVerdict records a checker verdict over the completed execution;
 	// by convention it is the final event of a log.
 	KindVerdict
+	// KindDropStale is the operation sim.Runner.DropStale(dir, pkt): the
+	// adversary's loss move, permanently discarding one delayed in-transit
+	// copy. Added after version 1 of the on-disk format shipped; readers
+	// predating it fail loudly on the unknown kind rather than
+	// misinterpreting the stream.
+	KindDropStale
 )
 
 // String returns the kind's wire name.
@@ -81,6 +87,8 @@ func (k Kind) String() string {
 		return "drain"
 	case KindStale:
 		return "stale"
+	case KindDropStale:
+		return "drop_stale"
 	case KindSendPkt:
 		return "send_pkt"
 	case KindRecvPkt:
@@ -102,7 +110,7 @@ func (k Kind) String() string {
 // as opposed to an observation (compared on replay).
 func (k Kind) IsOp() bool {
 	switch k {
-	case KindSubmit, KindTransmit, KindDrain, KindStale:
+	case KindSubmit, KindTransmit, KindDrain, KindStale, KindDropStale:
 		return true
 	}
 	return false
@@ -162,7 +170,7 @@ func (e Event) String() string {
 	switch e.Kind {
 	case KindSubmit, KindRecvMsg:
 		return fmt.Sprintf("%s(%s)", e.Kind, e.Msg)
-	case KindSendPkt, KindRecvPkt, KindStale:
+	case KindSendPkt, KindRecvPkt, KindStale, KindDropStale:
 		return fmt.Sprintf("%s^%s(%s)", e.Kind, e.Dir, e.Pkt)
 	case KindDecision:
 		return fmt.Sprintf("%s^%s=%s", e.Kind, e.Dir, e.Decision)

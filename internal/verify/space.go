@@ -1,0 +1,328 @@
+package verify
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/channel"
+	"repro/internal/ioa"
+	"repro/internal/protocol"
+)
+
+// This file is the configuration space of the bounded model checker: the
+// joint configurations (q_t, q_r, c^{t→r}, c^{r→t}, submitted, delivered)
+// and the transition alphabet the exploration fans out over.
+//
+// Every move maps 1:1 to a replayable sim.Runner operation, which is what
+// makes the checker's findings executable: a path through this graph IS a
+// driver schedule, and witness.go re-drives it through the real runner and
+// hands the resulting NFT trace to internal/replay for confirmation. The
+// verifier's transition semantics are therefore never trusted on their own —
+// replay through the production simulator is the ground truth.
+//
+// Conventions of the exploration (shared with the audit enumerator in
+// internal/analyze where both apply; see DESIGN.md §12 for the soundness
+// arguments):
+//
+//   - Messages are submitted only when the transmitter is idle, at most
+//     MaxMessages of them, with *distinct positional payloads* "m<i>" —
+//     unlike the audit's constant payload, because DL1 violations are
+//     payload-correspondence violations. With positional payloads, a
+//     violation-free history with d deliveries has delivered exactly
+//     m0..m<d-1> in order, so (submitted, delivered) counters plus the
+//     endpoint control keys fully determine the history-relevant state and
+//     the visited-set quotient is sound for DL1 (checked per edge, before
+//     deduplication, so no violating delivery is ever masked).
+//   - Endpoint states are compared by ControlKey (protocol.ControlKeyOf),
+//     inheriting the audit's bisimulation proof obligation.
+//   - Receiver acknowledgements drain eagerly after every data delivery;
+//     acks beyond the occupancy cap are dropped at send (a legal lossy
+//     behaviour). Sends beyond a channel's cap are likewise not buffered:
+//     below cap a transmitted packet is delayed in transit, at cap it is
+//     dropped at send (the only way to let the transmitter keep stepping).
+//   - Deliveries and drops are explored per distinct in-transit packet.
+//     Under the lazy-drop reduction (POR), in-transit drops are explored
+//     only at cap; see verify.go.
+
+// payload is the positional payload of the i-th submitted message.
+func payload(i int) string { return "m" + strconv.Itoa(i) }
+
+type moveKind uint8
+
+const (
+	mvSubmit moveKind = iota + 1
+	// mvTransmit sends one enabled data packet and delays it in transit
+	// (below-cap transmit; decision Delay).
+	mvTransmit
+	// mvTransmitDrop sends one enabled data packet and drops it at send
+	// (at-cap transmit; decision Drop). Below cap this move is omitted: it
+	// reaches exactly the configuration of mvTransmit followed by
+	// mvDropData of the same packet, so exploring it would only duplicate
+	// states.
+	mvTransmitDrop
+	// mvDeliverData delivers one distinct in-transit data packet and then
+	// drains the receiver's acknowledgements into the ack channel.
+	mvDeliverData
+	mvDeliverAck
+	mvDropData
+	mvDropAck
+)
+
+// move is one transition: a kind plus, for the per-packet moves, the packet.
+type move struct {
+	kind moveKind
+	pkt  ioa.Packet
+}
+
+func (m move) String() string {
+	switch m.kind {
+	case mvSubmit:
+		return "submit"
+	case mvTransmit:
+		return "transmit(delay)"
+	case mvTransmitDrop:
+		return "transmit(drop)"
+	case mvDeliverData:
+		return "deliver-data " + m.pkt.String()
+	case mvDeliverAck:
+		return "deliver-ack " + m.pkt.String()
+	case mvDropData:
+		return "drop-data " + m.pkt.String()
+	case mvDropAck:
+		return "drop-ack " + m.pkt.String()
+	default:
+		return fmt.Sprintf("move(%d)", int(m.kind))
+	}
+}
+
+// config is one joint configuration of the exploration.
+type config struct {
+	t         protocol.Transmitter
+	r         protocol.Receiver
+	chData    *channel.NonFIFO // t→r
+	chAck     *channel.NonFIFO // r→t
+	submitted int32
+	delivered int32
+	id        int32
+}
+
+// clone deep-copies the configuration, rebinding the endpoints' genies to
+// the cloned channels (the same discipline as sim.Runner.Fork and the
+// audit enumerator).
+func (c *config) clone() *config {
+	nc := &config{
+		t:         c.t.Clone(),
+		r:         c.r.Clone(),
+		chData:    c.chData.Clone(),
+		chAck:     c.chAck.Clone(),
+		submitted: c.submitted,
+		delivered: c.delivered,
+	}
+	if u, ok := nc.t.(protocol.AckGenieUser); ok {
+		u.SetAckGenie(channel.ChannelGenie{Ch: nc.chAck})
+	}
+	if u, ok := nc.r.(protocol.DataGenieUser); ok {
+		u.SetDataGenie(channel.ChannelGenie{Ch: nc.chData})
+	}
+	return nc
+}
+
+// key is the canonical configuration encoding the visited set dedups on.
+func (c *config) key() string {
+	var b strings.Builder
+	b.WriteString(protocol.ControlKeyOf(c.t))
+	b.WriteByte('|')
+	b.WriteString(protocol.ControlKeyOf(c.r))
+	b.WriteByte('|')
+	b.WriteString(c.chData.Key())
+	b.WriteByte('|')
+	b.WriteString(c.chAck.Key())
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(int(c.submitted)))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(int(c.delivered)))
+	return b.String()
+}
+
+// parentEdge records how a configuration was first reached, for witness
+// path reconstruction.
+type parentEdge struct {
+	parent int32
+	mv     move
+}
+
+// nodeCounts keeps the progress-relevant counters per node for the DL3
+// analysis (the full config is released once its BFS wave passes).
+type nodeCounts struct {
+	submitted, delivered int32
+}
+
+// edgeRec is one explored transition; progress marks delivery-count
+// increase (the DL3 analysis seeds its reverse reachability on these).
+type edgeRec struct {
+	from, to int32
+	progress bool
+}
+
+// foundViolation is an on-the-fly DL1 finding: the pre-state and the
+// delivering move that produced a payload out of correspondence.
+type foundViolation struct {
+	parent int32
+	mv     move
+	detail string
+}
+
+// explorer carries the exploration's accumulators.
+type explorer struct {
+	cfg   Config
+	proto protocol.Protocol
+	por   bool
+
+	seen    store
+	queue   []*config
+	parents []parentEdge
+	nodes   []nodeCounts
+	edges   []edgeRec
+
+	violation *foundViolation
+	err       error
+}
+
+// visit dedups a successor, records the edge, and enqueues fresh nodes.
+func (e *explorer) visit(ns *config, from int32, mv move) {
+	if e.err != nil {
+		return
+	}
+	id, fresh, err := e.seen.insert(ns.key())
+	if err != nil {
+		e.err = err
+		return
+	}
+	if fresh {
+		ns.id = id
+		e.queue = append(e.queue, ns)
+		e.parents = append(e.parents, parentEdge{parent: from, mv: mv})
+		e.nodes = append(e.nodes, nodeCounts{submitted: ns.submitted, delivered: ns.delivered})
+	}
+	if from >= 0 {
+		e.edges = append(e.edges, edgeRec{from: from, to: id, progress: ns.delivered > e.nodes[from].delivered})
+	}
+}
+
+// collect drains the receiver's freshly delivered payloads into the
+// configuration's counters, checking DL1 correspondence per delivery: the
+// i-th delivered payload must be payload(i) of a submitted message. It
+// reports whether the configuration is violation-free.
+func (e *explorer) collect(ns *config, from int32, mv move) bool {
+	for _, p := range ns.r.TakeDelivered() {
+		idx := int(ns.delivered)
+		switch {
+		case idx >= int(ns.submitted):
+			e.violation = &foundViolation{parent: from, mv: mv, detail: fmt.Sprintf(
+				"delivery %d with only %d message(s) submitted", idx, ns.submitted)}
+			return false
+		case p != payload(idx):
+			e.violation = &foundViolation{parent: from, mv: mv, detail: fmt.Sprintf(
+				"delivery %d carries %q, want %q", idx, p, payload(idx))}
+			return false
+		}
+		ns.delivered++
+	}
+	return true
+}
+
+// drainAcks forwards the receiver's pending acknowledgements to the r→t
+// channel, dropping at send beyond the occupancy cap. The send-then-drop
+// shape (rather than the audit's skip-the-send) mirrors sim.Runner.DrainAcks
+// exactly, so a witness re-drive reproduces the same channel state.
+func (e *explorer) drainAcks(ns *config) {
+	for {
+		a, ok := ns.r.NextPkt()
+		if !ok {
+			return
+		}
+		ns.chAck.Send(a)
+		if ns.chAck.InTransit() > e.cfg.Occupancy {
+			_ = ns.chAck.Drop(a)
+		}
+	}
+}
+
+// expand fans a configuration out over the transition alphabet.
+func (e *explorer) expand(s *config) {
+	L := e.cfg.Occupancy
+
+	// submit: hand the transmitter the next positional message, only when
+	// it is idle and the message bound has room.
+	if !s.t.Busy() && int(s.submitted) < e.cfg.MaxMessages {
+		ns := s.clone()
+		ns.t.SendMsg(payload(int(ns.submitted)))
+		ns.submitted++
+		e.visit(ns, s.id, move{kind: mvSubmit})
+	}
+
+	// transmit: one send_pkt^{t→r}, if enabled. Below cap the packet is
+	// delayed in transit; at cap it is dropped at send, which is the only
+	// way to let the transmitter keep stepping against a full channel.
+	{
+		ns := s.clone()
+		if pkt, ok := ns.t.NextPkt(); ok {
+			ns.chData.Send(pkt)
+			if s.chData.InTransit() < L {
+				e.visit(ns, s.id, move{kind: mvTransmit})
+			} else {
+				_ = ns.chData.Drop(pkt)
+				e.visit(ns, s.id, move{kind: mvTransmitDrop})
+			}
+		}
+	}
+
+	// deliver-data: each distinct in-transit data packet, removed from the
+	// channel before the receiver sees it (genie snapshots observe the
+	// post-delivery transit), DL1-checked per delivery, acks drained.
+	for _, pkt := range s.chData.Packets() {
+		ns := s.clone()
+		if ns.chData.Deliver(pkt) != nil {
+			continue
+		}
+		mv := move{kind: mvDeliverData, pkt: pkt}
+		ns.r.DeliverPkt(pkt)
+		if !e.collect(ns, s.id, mv) {
+			return
+		}
+		e.drainAcks(ns)
+		e.visit(ns, s.id, mv)
+	}
+
+	// deliver-ack: each distinct in-transit ack packet.
+	for _, pkt := range s.chAck.Packets() {
+		ns := s.clone()
+		if ns.chAck.Deliver(pkt) != nil {
+			continue
+		}
+		ns.t.DeliverPkt(pkt)
+		e.visit(ns, s.id, move{kind: mvDeliverAck, pkt: pkt})
+	}
+
+	// drop: each distinct in-transit packet, on either channel. Under the
+	// lazy-drop reduction, drops are explored only at cap — where they are
+	// needed to unblock a send; see DESIGN.md §12 for why postponing them
+	// preserves endpoint-observable reachability for genie-free protocols.
+	if !e.por || s.chData.InTransit() >= L {
+		for _, pkt := range s.chData.Packets() {
+			ns := s.clone()
+			if ns.chData.Drop(pkt) == nil {
+				e.visit(ns, s.id, move{kind: mvDropData, pkt: pkt})
+			}
+		}
+	}
+	if !e.por || s.chAck.InTransit() >= L {
+		for _, pkt := range s.chAck.Packets() {
+			ns := s.clone()
+			if ns.chAck.Drop(pkt) == nil {
+				e.visit(ns, s.id, move{kind: mvDropAck, pkt: pkt})
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package verify
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+)
+
+// store is the visited set of the exploration: canonical configuration keys
+// mapped to dense ids (assigned in first-visit order, so id order is BFS
+// order). Both implementations maintain the canonical space hash — the XOR
+// of fnv64a over all visited keys — an order-independent fingerprint of the
+// explored configuration set that two runs of the same protocol at the same
+// bounds must agree on (the POR on/off equivalence tests compare verdicts,
+// not hashes: the reduction visits fewer states by design).
+type store interface {
+	// insert returns the key's id and whether it was fresh.
+	insert(key string) (id int32, fresh bool, err error)
+	len() int
+	hash() uint64
+	close() error
+}
+
+func keyHash(k string) uint64 {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, k)
+	return h.Sum64()
+}
+
+// memStore is the default in-memory visited set.
+type memStore struct {
+	ids map[string]int32
+	xor uint64
+}
+
+func newMemStore() *memStore { return &memStore{ids: make(map[string]int32)} }
+
+func (s *memStore) insert(k string) (int32, bool, error) {
+	if id, ok := s.ids[k]; ok {
+		return id, false, nil
+	}
+	id := int32(len(s.ids))
+	s.ids[k] = id
+	s.xor ^= keyHash(k)
+	return id, true, nil
+}
+
+func (s *memStore) len() int     { return len(s.ids) }
+func (s *memStore) hash() uint64 { return s.xor }
+func (s *memStore) close() error { return nil }
+
+// diskStore spills the key strings — the dominant memory cost of a large
+// exploration — to an append-only temp file, keeping only a 64-bit hash and
+// a file offset per visited configuration in memory. A hash hit is verified
+// by reading the stored key back before it counts as a revisit, so hash
+// collisions cost a read, never a wrong answer. Records are
+// uvarint-length-prefixed key bytes; all access is ReadAt/WriteAt, so no
+// buffering layer can serve stale data.
+type diskStore struct {
+	f      *os.File
+	off    int64
+	byHash map[uint64][]diskRec
+	n      int
+	xor    uint64
+	buf    []byte
+}
+
+type diskRec struct {
+	off int64
+	id  int32
+}
+
+func newDiskStore(dir string) (*diskStore, error) {
+	f, err := os.CreateTemp(dir, "nfverify-visited-*.keys")
+	if err != nil {
+		return nil, fmt.Errorf("verify: spill store: %w", err)
+	}
+	// The file is unlinked-on-close via close(); keep the name for Remove.
+	return &diskStore{f: f, byHash: make(map[uint64][]diskRec)}, nil
+}
+
+func (s *diskStore) insert(k string) (int32, bool, error) {
+	h := keyHash(k)
+	for _, rec := range s.byHash[h] {
+		same, err := s.keyAt(rec.off, k)
+		if err != nil {
+			return 0, false, err
+		}
+		if same {
+			return rec.id, false, nil
+		}
+	}
+	s.buf = binary.AppendUvarint(s.buf[:0], uint64(len(k)))
+	s.buf = append(s.buf, k...)
+	if _, err := s.f.WriteAt(s.buf, s.off); err != nil {
+		return 0, false, fmt.Errorf("verify: spill store: %w", err)
+	}
+	id := int32(s.n)
+	s.byHash[h] = append(s.byHash[h], diskRec{off: s.off, id: id})
+	s.off += int64(len(s.buf))
+	s.n++
+	s.xor ^= h
+	return id, true, nil
+}
+
+// keyAt reports whether the record at off holds exactly want. Records of a
+// different length are rejected from the prefix alone, without a second read.
+func (s *diskStore) keyAt(off int64, want string) (bool, error) {
+	var lbuf [binary.MaxVarintLen64]byte
+	n, err := s.f.ReadAt(lbuf[:], off)
+	if err != nil && err != io.EOF {
+		return false, fmt.Errorf("verify: spill store: %w", err)
+	}
+	l, ln := binary.Uvarint(lbuf[:n])
+	if ln <= 0 {
+		return false, fmt.Errorf("verify: spill store: corrupt record at offset %d", off)
+	}
+	if l != uint64(len(want)) {
+		return false, nil
+	}
+	kb := make([]byte, l)
+	if _, err := s.f.ReadAt(kb, off+int64(ln)); err != nil {
+		return false, fmt.Errorf("verify: spill store: %w", err)
+	}
+	return string(kb) == want, nil
+}
+
+func (s *diskStore) len() int     { return s.n }
+func (s *diskStore) hash() uint64 { return s.xor }
+
+func (s *diskStore) close() error {
+	name := s.f.Name()
+	err := s.f.Close()
+	if rmErr := os.Remove(name); err == nil {
+		err = rmErr
+	}
+	return err
+}

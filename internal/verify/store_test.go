@@ -1,0 +1,72 @@
+package verify
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestStoreEquivalence drives both stores through the same key sequence —
+// with plenty of duplicates — and demands identical ids, counts, and
+// canonical hashes.
+func TestStoreEquivalence(t *testing.T) {
+	mem := newMemStore()
+	disk, err := newDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.close()
+
+	var keys []string
+	for i := 0; i < 200; i++ {
+		keys = append(keys, fmt.Sprintf("tkey-%d|rkey-%d|{}|{}|%d|%d", i%37, i%11, i%5, i%3))
+	}
+	// Re-insert everything a second time: all revisits.
+	keys = append(keys, keys...)
+
+	for i, k := range keys {
+		mid, mfresh, err := mem.insert(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		did, dfresh, err := disk.insert(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mid != did || mfresh != dfresh {
+			t.Fatalf("insert %d (%q): mem (%d, %v), disk (%d, %v)", i, k, mid, mfresh, did, dfresh)
+		}
+	}
+	if mem.len() != disk.len() {
+		t.Fatalf("len: mem %d, disk %d", mem.len(), disk.len())
+	}
+	if mem.hash() != disk.hash() {
+		t.Fatalf("hash: mem %016x, disk %016x", mem.hash(), disk.hash())
+	}
+}
+
+// TestDiskStoreLargeKeys checks the spill records across the varint length
+// boundary (keys longer than 127 bytes need a two-byte length prefix).
+func TestDiskStoreLargeKeys(t *testing.T) {
+	disk, err := newDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.close()
+
+	long := make([]byte, 0, 4096)
+	for i := 0; i < 512; i++ {
+		long = append(long, byte('a'+i%26))
+	}
+	keys := []string{"short", string(long), string(long) + "x", "short"}
+	wantFresh := []bool{true, true, true, false}
+	wantID := []int32{0, 1, 2, 0}
+	for i, k := range keys {
+		id, fresh, err := disk.insert(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != wantID[i] || fresh != wantFresh[i] {
+			t.Fatalf("insert %d: got (%d, %v), want (%d, %v)", i, id, fresh, wantID[i], wantFresh[i])
+		}
+	}
+}

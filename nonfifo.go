@@ -27,7 +27,11 @@
 //     counterexamples;
 //   - sliding window and go-back-N transport protocols over non-FIFO
 //     virtual links, realising the paper's closing remark that the results
-//     extend to the transport layer; and
+//     extend to the transport layer;
+//   - a bounded reachability prover (Verify, `nfvet verify`) that either
+//     PROVES DL-safety up to an occupancy cap and message bound — emitting
+//     a machine-readable proof artifact — or produces a replay-confirmed
+//     NFT counterexample; and
 //   - the experiment suite E0–E9 that reproduces each theorem's predicted
 //     shape (see DESIGN.md and EXPERIMENTS.md).
 //
@@ -59,6 +63,7 @@ import (
 	"repro/internal/replay"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/verify"
 )
 
 // Model types (see internal/ioa).
@@ -435,3 +440,22 @@ type (
 // Use SweepReport.CheckMonotone to verify that shape and
 // analyze.SweepTable (via `nfvet audit -sweep`) for the TSV rendering.
 func AuditSweep(p Protocol, cfg SweepConfig) *SweepReport { return analyze.Sweep(p, cfg) }
+
+// Bounded model checking (see internal/verify and `nfvet verify`).
+type (
+	// VerifyConfig bounds one verification run: per-channel occupancy cap,
+	// submitted-message bound, and exploration budget.
+	VerifyConfig = verify.Config
+	// VerifyReport is the outcome: a PROVED proof artifact (state/edge
+	// counts, canonical space hash), or a VIOLATED report carrying a
+	// replay-confirmed NFT witness.
+	VerifyReport = verify.Report
+)
+
+// Verify exhaustively explores the protocol's joint configurations
+// reachable within cfg's bounds, checking DL1 on the fly and DL3 over the
+// explored graph. It either PROVES the absence of violations within the
+// bounds or emits a counterexample schedule that has been re-driven through
+// the simulator and re-judged by the replay checkers. A zero-valued cfg
+// uses the defaults (occupancy 2, 3 messages, 1<<18-state budget).
+func Verify(p Protocol, cfg VerifyConfig) (*VerifyReport, error) { return verify.Run(p, cfg) }
