@@ -83,9 +83,15 @@ func run(args []string, out, errw io.Writer) int {
 	}
 
 	steps := []func() (Benchmark, error){
-		func() (Benchmark, error) { return benchVerify("seqnum", verify.Config{}) },
+		func() (Benchmark, error) { return benchVerify("seqnum", "verify/seqnum", verify.Config{}) },
 		func() (Benchmark, error) {
-			return benchVerify("cntexp", verify.Config{MaxStates: *verifyBudgt})
+			return benchVerify("cntexp", "verify/cntexp", verify.Config{MaxStates: *verifyBudgt})
+		},
+		// The stabilize workload is the 81-root corrupted-start proof of
+		// stabdl2 — the multi-root regime, dominated by the widened
+		// amnesty-carrying configuration keys.
+		func() (Benchmark, error) {
+			return benchVerify("stabdl2", "verify/stabdl2-stabilize", verify.Config{Stabilize: true})
 		},
 		func() (Benchmark, error) { return benchFuzz("altbit", *fuzzBudget) },
 	}
@@ -119,8 +125,9 @@ func run(args []string, out, errw io.Writer) int {
 }
 
 // benchVerify times one bounded-exploration run and reports explored
-// configurations per second.
-func benchVerify(name string, cfg verify.Config) (Benchmark, error) {
+// configurations per second. display distinguishes workloads that share a
+// protocol but differ in Config (e.g. the stabilize-mode run).
+func benchVerify(name, display string, cfg verify.Config) (Benchmark, error) {
 	p, err := replay.LookupProtocol(name)
 	if err != nil {
 		return Benchmark{}, err
@@ -132,7 +139,7 @@ func benchVerify(name string, cfg verify.Config) (Benchmark, error) {
 		return Benchmark{}, fmt.Errorf("verify %s: %w", name, err)
 	}
 	return Benchmark{
-		Name:      "verify/" + name,
+		Name:      display,
 		Metric:    "configs",
 		Work:      int64(rep.States),
 		ElapsedMS: float64(elapsed.Microseconds()) / 1000,

@@ -10,7 +10,7 @@ import (
 )
 
 // TestRunWritesArtifact drives the command with tiny budgets and checks the
-// JSON artifact's shape: all three workloads present, positive work and
+// JSON artifact's shape: all four workloads present, positive work and
 // rates, and the label threaded through.
 func TestRunWritesArtifact(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
@@ -33,7 +33,7 @@ func TestRunWritesArtifact(t *testing.T) {
 	if art.Label != "unit" || art.GoVersion == "" {
 		t.Errorf("artifact header = %+v", art)
 	}
-	want := []string{"verify/seqnum", "verify/cntexp", "fuzz/altbit"}
+	want := []string{"verify/seqnum", "verify/cntexp", "verify/stabdl2-stabilize", "fuzz/altbit"}
 	if len(art.Benchmarks) != len(want) {
 		t.Fatalf("got %d benchmarks, want %d", len(art.Benchmarks), len(want))
 	}

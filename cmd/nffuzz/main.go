@@ -20,12 +20,14 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/fuzz"
 	"repro/internal/protocol"
 	"repro/internal/replay"
+	"repro/internal/stabilize"
 )
 
 func main() {
@@ -48,6 +50,7 @@ func run(args []string, out io.Writer) error {
 		corpusDir = fs.String("corpus", "", "corpus directory to resume from and persist to (optional)")
 		outDir    = fs.String("o", "certs", "directory for shrunk violation certificates")
 		keepGoing = fs.Bool("keep-going", false, "keep fuzzing after the first promoted violation")
+		corrupt   = fs.Bool("corrupt", false, "also fuzz the initial configuration: candidates may start corrupted (per the protocol's declared corruption space) and are judged against the corruption's amnesty")
 		quiet     = fs.Bool("q", false, "suppress the periodic stats line")
 		statsSec  = fs.Duration("stats-every", time.Second, "stats line interval")
 		check     = fs.Bool("check", true, "replay each certificate after the campaign and verify its verdict")
@@ -71,13 +74,18 @@ func run(args []string, out io.Writer) error {
 		CorpusDir:       *corpusDir,
 		OutDir:          *outDir,
 		StopOnViolation: !*keepGoing,
+		Corrupt:         *corrupt,
 		StatsEvery:      *statsSec,
 	}
 	if !*quiet {
 		cfg.Stats = out
 	}
-	fmt.Fprintf(out, "fuzzing %s: %d workers, budget %d, seed %d\n",
-		proto.Name(), cfg.Workers, cfg.Budget, cfg.Seed)
+	mode := ""
+	if cfg.Corrupt {
+		mode = ", corrupted starts"
+	}
+	fmt.Fprintf(out, "fuzzing %s: %d workers, budget %d, seed %d%s\n",
+		proto.Name(), cfg.Workers, cfg.Budget, cfg.Seed, mode)
 	res, err := fuzz.Run(cfg)
 	if err != nil {
 		return err
@@ -91,7 +99,11 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 	for _, v := range res.Violations {
-		fmt.Fprintf(out, "violation %s: found at exec %d, %d ops after shrink", v.Property, v.FoundAtExec, v.Ops)
+		if v.Corruption != "" {
+			fmt.Fprintf(out, "violation %s: found at exec %d, %d ops, corrupted start %s", v.Property, v.FoundAtExec, v.Ops, v.Corruption)
+		} else {
+			fmt.Fprintf(out, "violation %s: found at exec %d, %d ops after shrink", v.Property, v.FoundAtExec, v.Ops)
+		}
 		if v.CycleOps > 0 {
 			fmt.Fprintf(out, ", %d-op livelock cycle pumped x3", v.CycleOps)
 		}
@@ -103,6 +115,25 @@ func run(args []string, out io.Writer) error {
 			rr, err := replay.Run(v.Cert)
 			if err != nil {
 				return fmt.Errorf("re-checking %s certificate: %w", v.Property, err)
+			}
+			if v.Corruption != "" {
+				// A corrupted-start certificate is an over-amnesty claim: the
+				// replay must be divergence-free and the amnesty judge — re-run
+				// from scratch with the budget recorded in the metadata — must
+				// still find the same property over budget.
+				if rr.Divergence != nil {
+					return fmt.Errorf("corrupted-start certificate replay diverged: %v", rr.Divergence)
+				}
+				amnesty, err := strconv.Atoi(v.Cert.Meta[stabilize.MetaAmnesty])
+				if err != nil {
+					return fmt.Errorf("corrupted-start certificate lacks a usable %s metadata key: %w", stabilize.MetaAmnesty, err)
+				}
+				j := stabilize.JudgeTrace(rr.Trace, amnesty)
+				if j.Violation == nil || j.Violation.Property != v.Property {
+					return fmt.Errorf("corrupted-start certificate re-check mismatch: judged %v, want %s over amnesty %d", j.Violation, v.Property, amnesty)
+				}
+				fmt.Fprintf(out, "  re-checked: replay reproduces %s over amnesty %d with zero divergence\n", v.Property, amnesty)
+				continue
 			}
 			if v.Property == "DL3" {
 				// A livelock certificate is a liveness claim: the replay must

@@ -26,6 +26,12 @@
 //	                         configuration space: PROVE DL-safety up to the
 //	                         occupancy/message bounds, or emit a
 //	                         replay-confirmed NFT counterexample
+//	nfvet verify -stabilize  seed the exploration with every bounded
+//	                         corrupted start: PROVED means the protocol
+//	                         self-stabilizes within the bounds
+//	nfvet stabilize -all     sweep arbitrary-start convergence seed by
+//	                         seed (the quick per-configuration check;
+//	                         verify -stabilize is the exhaustive prover)
 //	nfvet help               analyzer catalog
 //
 // The audit enumerates the joint control states (q_t, q_r) reachable under
@@ -65,6 +71,8 @@ func run(args []string, out, errw io.Writer) int {
 		return runAudit(args[1:], out, errw)
 	case "verify":
 		return runVerify(args[1:], out, errw)
+	case "stabilize":
+		return runStabilize(args[1:], out, errw)
 	case "help", "-h", "-help", "--help":
 		usage(out)
 		for _, a := range analyze.Analyzers() {
@@ -83,6 +91,8 @@ func usage(w io.Writer) {
   nfvet audit [-all | names...] [options]     audit protocol boundness
   nfvet verify [-all | names...] [options]    prove DL-safety up to bounds,
                                               or emit a replayable witness
+  nfvet stabilize [-all | names...] [options] sweep arbitrary-start
+                                              convergence per corrupted seed
   nfvet help                                  analyzer catalog
   go vet -vettool=/path/to/nfvet ./...        lint via the go vet driver
 `)

@@ -51,7 +51,9 @@ func TestAuditSingleProtocol(t *testing.T) {
 }
 
 func TestAuditAll(t *testing.T) {
-	code, stdout, stderr := runCmd(t, "audit", "-all", "-maxstates", "16384")
+	// stabdl2's 8-label alphabet exhausts at ~35k joint states, so the
+	// smoke budget is 65536 rather than the old 16384.
+	code, stdout, stderr := runCmd(t, "audit", "-all", "-maxstates", "65536")
 	if code != 0 {
 		t.Fatalf("audit -all exited %d: %s", code, stderr)
 	}
@@ -59,6 +61,7 @@ func TestAuditAll(t *testing.T) {
 	// broken specimens gets a report.
 	for _, name := range []string{
 		"altbit", "cheat1", "cntexp", "cntk4", "cntlinear", "seqnum",
+		"stabdl2", "stabnaive",
 		"swindow-s4-w2", "swindow-unbounded-w2", "gbn-s4-w2", "gbn-s8-w4",
 		"livelock", "cntnobind",
 	} {
@@ -195,6 +198,58 @@ func TestVerifyJSONReport(t *testing.T) {
 	if rep.Protocol != "seqnum" || rep.Verdict != "PROVED" || rep.Check != "CERTIFIED" ||
 		!rep.Exhausted || rep.SpaceHash == "" {
 		t.Fatalf("JSON report fields drifted: %+v", rep)
+	}
+}
+
+func TestStabilizeSweepReports(t *testing.T) {
+	code, stdout, stderr := runCmd(t, "stabilize", "stabdl2", "stabnaive")
+	if code != 0 {
+		t.Fatalf("stabilize exited %d: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"stabilize: stabdl2",
+		"converged: 81/81 within amnesty",
+		"check:     CONSISTENT",
+		"stabilize: stabnaive",
+		"check:     CERTIFIED",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("report lacks %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestStabilizeTableAndWitness(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "scerts")
+	code, stdout, stderr := runCmd(t, "stabilize", "-table", "-o", dir, "altbit")
+	if code != 0 {
+		t.Fatalf("stabilize -table exited %d: %s", code, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if lines[0] != "protocol\tseed\tamnesty\tcharges\tconverged\tproperty" {
+		t.Fatalf("TSV header drifted: %q", lines[0])
+	}
+	// 54 seeds plus the header row.
+	if len(lines) != 55 {
+		t.Fatalf("got %d TSV rows, want 55:\n%s", len(lines), stdout)
+	}
+	wl, err := trace.ReadFile(filepath.Join(dir, "altbit-stabilize-DL1.nft"))
+	if err != nil {
+		t.Fatalf("witness: %v", err)
+	}
+	rr, err := replay.Run(wl)
+	if err != nil {
+		t.Fatalf("witness replay: %v", err)
+	}
+	if rr.Divergence != nil {
+		t.Fatalf("witness diverged: %v", rr.Divergence)
+	}
+}
+
+func TestStabilizeUnknownProtocol(t *testing.T) {
+	code, _, stderr := runCmd(t, "stabilize", "nosuch")
+	if code != 2 || !strings.Contains(stderr, "unknown protocol") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
 	}
 }
 

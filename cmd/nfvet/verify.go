@@ -34,6 +34,8 @@ func runVerify(args []string, out, errw io.Writer) int {
 		spill     = fs.String("spill", "", "spill the visited set to a temp file under this directory")
 		outDir    = fs.String("o", "", "write VIOLATED witnesses as <protocol>-<property>.nft under this directory")
 		jsonOut   = fs.Bool("json", false, "print machine-readable JSON reports instead of text")
+		stab      = fs.Bool("stabilize", false, "seed the frontier with every bounded corrupted start: PROVED means the protocol self-stabilizes within the bounds")
+		maxPoison = fs.Int("maxpoison", 1, "poison packets pre-loaded per channel in -stabilize mode (capped at -maxocc)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -57,6 +59,8 @@ func runVerify(args []string, out, errw io.Writer) int {
 		MaxStates:   *maxStates,
 		NoPOR:       *noPOR,
 		SpillDir:    *spill,
+		Stabilize:   *stab,
+		MaxPoison:   *maxPoison,
 	}
 	failed := 0
 	for i, name := range names {

@@ -73,14 +73,19 @@ func TestAuditCertifiesRegistry(t *testing.T) {
 		"seqnum":    VerdictConsistent,
 		"livelock":  VerdictCertified,
 		"cntnobind": VerdictCertified,
+		"stabdl2":   VerdictCertified,
+		"stabnaive": VerdictCertified,
 	}
 	reg := protocol.Registry()
 	ps := []protocol.Protocol{protocol.NewLivelock(), protocol.NewCntNoBind()}
 	for _, name := range protocol.Names() {
 		ps = append(ps, reg[name])
 	}
+	// stabdl2's 8-label alphabet needs ~35k joint states to exhaust, so the
+	// registry sweep runs with a larger budget than the pinned goldens.
+	sweepConfig := AuditConfig{Occupancy: goldenConfig.Occupancy, MaxStates: 1 << 16}
 	for _, p := range ps {
-		rep := Audit(p, goldenConfig)
+		rep := Audit(p, sweepConfig)
 		if rep.Verdict != want[p.Name()] {
 			t.Errorf("%s: verdict %s (failures %v), want %s", p.Name(), rep.Verdict, rep.Failures, want[p.Name()])
 		}

@@ -34,7 +34,9 @@ func TestClosingCostDoesNotMutateCaller(t *testing.T) {
 
 func TestClosingCostCleanChannel(t *testing.T) {
 	// On a clean channel every protocol closes a one-message semi-valid
-	// execution with O(1) packets.
+	// execution with O(1) packets. The stabilizing family pays the largest
+	// constant: stabdl's receiver adopts only after C+1 consecutive copies,
+	// so closing one message costs up to 2(C+1)+2 packets at C=2.
 	reg := protocol.Registry()
 	for _, name := range protocol.Names() {
 		r := sim.NewRunner(sim.Config{Protocol: reg[name]})
@@ -43,7 +45,7 @@ func TestClosingCostCleanChannel(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if cost < 1 || cost > 4 {
+		if cost < 1 || cost > 8 {
 			t.Fatalf("%s: clean-channel closing cost = %d, want small", name, cost)
 		}
 	}

@@ -1,0 +1,149 @@
+package fuzz
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"repro/internal/protocol"
+	"repro/internal/stabilize"
+)
+
+// Corrupted-start fuzzing: the genotype grows an optional CorruptGene — raw
+// picks into the protocol's declared protocol.Corruptible space — and the
+// executor applies the resolved corruption before driving the schedule, then
+// judges the trace with the stabilize amnesty judge instead of the
+// clean-start checkers. The adversary of Theorems 2.1/3.1 chooses channel
+// behaviour from a clean start; this adversary also chooses the start.
+//
+// Picks are reduced modulo the space's list lengths at resolution time, so
+// every byte value is a feasible gene for every protocol (the fuzzer's
+// totality invariant survives the new dimension) and the same gene transfers
+// across protocols with different space sizes, like decision streams do.
+
+// MaxPoisonGenes caps the poison picks per channel a gene may carry. Each
+// poison pick buys one fault of amnesty, so an unbounded gene would buy
+// itself out of every violation; the cap keeps the budget adversarial.
+const MaxPoisonGenes = 3
+
+// CorruptOccupancy is the channel-occupancy convention used to compute a
+// corrupted input's amnesty (stabilize.Amnesty). It matches `nfvet verify`'s
+// default -maxocc, so a violation the fuzzer finds is over the same budget
+// the verifier proves against.
+const CorruptOccupancy = 2
+
+// CorruptGene is the corrupted-start strand of an input: index picks into
+// the protocol's corruption space. TPick/RPick select endpoint start states;
+// Data/Ack select poison packets pre-loaded per channel.
+type CorruptGene struct {
+	TPick, RPick uint8
+	Data, Ack    []uint8
+}
+
+// clone returns an independent deep copy (nil-safe).
+func (g *CorruptGene) clone() *CorruptGene {
+	if g == nil {
+		return nil
+	}
+	c := &CorruptGene{TPick: g.TPick, RPick: g.RPick}
+	c.Data = append([]uint8(nil), g.Data...)
+	c.Ack = append([]uint8(nil), g.Ack...)
+	return c
+}
+
+// resolveCorruption maps a gene onto proto's declared corruption space by
+// reducing each pick modulo the corresponding list length. Poison picks are
+// sorted after reduction so equivalent multisets resolve to the same
+// canonical stabilize.Corruption (and hence the same coverage salt and
+// amnesty) regardless of gene order. Non-Corruptible protocols resolve every
+// gene to the clean start.
+func resolveCorruption(proto protocol.Protocol, g *CorruptGene) stabilize.Corruption {
+	cp, ok := proto.(protocol.Corruptible)
+	if !ok || g == nil {
+		return stabilize.Corruption{}
+	}
+	space := cp.Corruptions()
+	var c stabilize.Corruption
+	if n := len(space.Transmitters); n > 0 {
+		c.TIdx = int(g.TPick) % n
+	}
+	if n := len(space.Receivers); n > 0 {
+		c.RIdx = int(g.RPick) % n
+	}
+	pickAll := func(picks []uint8, n int) []int {
+		if n == 0 {
+			return nil
+		}
+		idx := make([]int, 0, len(picks))
+		for _, p := range picks {
+			idx = append(idx, int(p)%n)
+		}
+		sort.Ints(idx)
+		return idx
+	}
+	for _, i := range pickAll(g.Data, len(space.DataPoison)) {
+		c.Data = append(c.Data, space.DataPoison[i])
+	}
+	for _, i := range pickAll(g.Ack, len(space.AckPoison)) {
+		c.Ack = append(c.Ack, space.AckPoison[i])
+	}
+	return c
+}
+
+// corruptSalt hashes a resolved corruption into a coverage-point salt, so a
+// joint state reached from a corrupted start is a different coverage point
+// from the same joint state reached cleanly. Without the salt, benign runs
+// would have already claimed most of the corrupted runs' coverage and the
+// corpus would never retain corrupted inputs.
+func corruptSalt(c stabilize.Corruption) uint64 {
+	if c.Clean() {
+		return 0
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte("corrupt:"))
+	_, _ = h.Write([]byte(c.Key()))
+	return h.Sum64()
+}
+
+// MutateCorrupt mutates the corruption gene of c in place, growing one if
+// absent. It is deliberately NOT an entry of the mutators table: that table's
+// order is the clean-campaign determinism contract, and the corrupted
+// dimension is opt-in (fuzz.Config.Corrupt) — campaigns that enable it accept
+// a different RNG trajectory, campaigns that do not draw exactly the values
+// they always did.
+func MutateCorrupt(c *Input, rng *rand.Rand) {
+	if c.Corrupt == nil {
+		c.Corrupt = &CorruptGene{}
+	}
+	g := c.Corrupt
+	switch rng.Intn(8) {
+	case 0:
+		g.TPick = uint8(rng.Intn(256))
+	case 1:
+		g.RPick = uint8(rng.Intn(256))
+	case 2, 3:
+		if len(g.Data) < MaxPoisonGenes {
+			g.Data = append(g.Data, uint8(rng.Intn(256)))
+		} else {
+			g.Data[rng.Intn(len(g.Data))] = uint8(rng.Intn(256))
+		}
+	case 4:
+		if len(g.Ack) < MaxPoisonGenes {
+			g.Ack = append(g.Ack, uint8(rng.Intn(256)))
+		} else {
+			g.Ack[rng.Intn(len(g.Ack))] = uint8(rng.Intn(256))
+		}
+	case 5:
+		if len(g.Data) > 0 {
+			g.Data = g.Data[:len(g.Data)-1]
+		}
+	case 6:
+		if len(g.Ack) > 0 {
+			g.Ack = g.Ack[:len(g.Ack)-1]
+		}
+	case 7:
+		// Revert to the clean start: corrupted lineages must be able to
+		// shed the gene, or the whole corpus drifts corrupted.
+		c.Corrupt = nil
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/ioa"
 	"repro/internal/protocol"
 	"repro/internal/sim"
+	"repro/internal/stabilize"
 	"repro/internal/trace"
 )
 
@@ -32,6 +33,14 @@ type ExecResult struct {
 	DataUsed, AckUsed int
 	// StaleHits counts OpStale operations that found a copy to deliver.
 	StaleHits int
+	// Corruption is the resolved corrupted start (zero/clean when the input
+	// carries no gene or the protocol declares no corruption space), and
+	// Amnesty/Charges are the fault budget it bought and the faults the
+	// amnesty judge charged the run. Verdict/DL3 on a corrupted run are the
+	// judge's over-amnesty violations, not the clean-start checkers'.
+	Corruption stabilize.Corruption
+	Amnesty    int
+	Charges    int
 }
 
 // Execute drives one input against a fresh instance of proto and reports
@@ -56,6 +65,18 @@ func Execute(proto protocol.Protocol, in *Input, withLog bool) *ExecResult {
 		RecordTrace: true,
 		TraceLog:    tlog,
 	})
+
+	var salt uint64
+	if in.Corrupt != nil {
+		res.Corruption = resolveCorruption(proto, in.Corrupt)
+		res.Amnesty = stabilize.Amnesty(res.Corruption, CorruptOccupancy)
+		salt = corruptSalt(res.Corruption)
+		if err := stabilize.Apply(r, res.Corruption); err != nil {
+			// Unreachable: resolution reduces every pick into the declared
+			// space and the runner has not executed an operation yet.
+			return res
+		}
+	}
 
 	submits := 0
 	for _, op := range in.Ops {
@@ -83,15 +104,28 @@ func Execute(proto protocol.Protocol, in *Input, withLog bool) *ExecResult {
 			}
 			res.StaleHits++
 		}
-		res.Points = append(res.Points, point(r.JointState()))
+		res.Points = append(res.Points, point(r.JointState())^salt)
 	}
 
 	run := r.Result()
-	if err := ioa.CheckSafety(run.Trace); err != nil {
-		res.Verdict, _ = ioa.AsViolation(err)
-	}
-	if err := ioa.CheckDL3Quiescent(run.Trace); err != nil {
-		res.DL3, _ = ioa.AsViolation(err)
+	if in.Corrupt != nil {
+		// Corrupted runs answer to the amnesty judge: faults within the
+		// corruption's budget are the stabilization latitude, faults beyond
+		// it are the violation. The clean-start checkers would flag the very
+		// first bought fault and tell us nothing about convergence.
+		j := stabilize.JudgeTrace(run.Trace, res.Amnesty)
+		res.Verdict, res.Charges = j.Violation, j.Charges
+		if j.Violation == nil {
+			q := stabilize.JudgeQuiescent(run.Trace, res.Amnesty)
+			res.DL3, res.Charges = q.Violation, q.Charges
+		}
+	} else {
+		if err := ioa.CheckSafety(run.Trace); err != nil {
+			res.Verdict, _ = ioa.AsViolation(err)
+		}
+		if err := ioa.CheckDL3Quiescent(run.Trace); err != nil {
+			res.DL3, _ = ioa.AsViolation(err)
+		}
 	}
 	if withLog {
 		// Mirror replay's verdict priority: safety wins, else the quiescent

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/protocol"
 	"repro/internal/replay"
+	"repro/internal/stabilize"
 	"repro/internal/trace"
 )
 
@@ -41,6 +42,12 @@ type Config struct {
 	// StopOnViolation stops the campaign as soon as the first violation has
 	// been promoted.
 	StopOnViolation bool
+	// Corrupt enables the corrupted-start dimension: candidates may grow a
+	// corruption gene (MutateCorrupt), executions with a gene start from the
+	// resolved corrupted configuration, and violations are judged against
+	// the corruption's amnesty. Off by default — enabling it changes the
+	// campaign's RNG trajectory relative to a clean run with the same seed.
+	Corrupt bool
 	// Stats, when non-nil, receives a progress line every StatsEvery
 	// (default 1s).
 	Stats      io.Writer
@@ -78,6 +85,10 @@ type Violation struct {
 	// Property is the violated property ("PL1", "DL1", "DL2", or "DL3" for a
 	// certified livelock).
 	Property string
+	// Corruption is the corrupted start the violation needs, as a canonical
+	// stabilize key; "" for clean-start findings. Corrupted findings are
+	// judged against the corruption's amnesty, not the clean-start checkers.
+	Corruption string
 	// Cert is the certificate trace: the replay.Shrink output for safety
 	// violations, or the pumped pumping-lemma certificate for livelocks.
 	Cert *trace.Log
@@ -207,8 +218,13 @@ func (c *campaign) observe(in *Input, res *ExecResult, countDL3 bool) {
 
 // promote turns a violating input into a first-class certificate: re-execute
 // with trace recording, shrink with the delta-debugging shrinker, keep the
-// smallest certificate per property, and write it out.
+// smallest certificate per property, and write it out. Corrupted-start
+// violations take their own confirmation path (promoteCorrupt).
 func (c *campaign) promote(in *Input, res *ExecResult) {
+	if !res.Corruption.Clean() {
+		c.promoteCorrupt(in)
+		return
+	}
 	logged := Execute(c.cfg.Protocol, in, true)
 	if logged.Verdict == nil {
 		// Unreachable: execution is deterministic.
@@ -246,6 +262,79 @@ func (c *campaign) promote(in *Input, res *ExecResult) {
 	if c.cfg.Stats != nil {
 		fmt.Fprintf(c.cfg.Stats, "VIOLATION %s after %d execs: %d ops after shrink%s\n",
 			v.Property, v.FoundAtExec, v.Ops, pathNote(v.Path))
+	}
+	if c.cfg.StopOnViolation {
+		c.stop.Store(true)
+	}
+}
+
+// promoteCorrupt turns a corrupted-start over-amnesty violation into a
+// replay-confirmed certificate. The delta-debugging shrinker is deliberately
+// skipped: its oracle is the clean-start checker suite, which fails a
+// corrupted run on its first *bought* fault, so shrinking against it would
+// minimize toward the wrong finding. Instead the logged execution is
+// replayed independently, re-judged from scratch by the amnesty judge, and
+// the replay's own re-recorded log becomes the certificate — it opens with
+// the replayable corrupt/poison operations and carries the amnesty-level
+// verdict in its metadata, exactly like `nfvet verify -stabilize` witnesses.
+func (c *campaign) promoteCorrupt(in *Input) {
+	logged := Execute(c.cfg.Protocol, in, true)
+	if logged.Verdict == nil {
+		// Unreachable: execution is deterministic.
+		return
+	}
+	rr, err := replay.Run(logged.Log)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fuzz: corrupted-start witness replay: %v\n", err)
+		return
+	}
+	if rr.Divergence != nil {
+		fmt.Fprintf(os.Stderr, "fuzz: corrupted-start witness diverged on replay: %v\n", rr.Divergence)
+		return
+	}
+	j := stabilize.JudgeTrace(rr.Trace, logged.Amnesty)
+	if j.Violation == nil {
+		// The independent replay stayed within amnesty; the finding did not
+		// reproduce, so it is not promoted.
+		return
+	}
+	cert := rr.Log
+	cert.SetMeta(trace.MetaSource, "fuzz-stabilize")
+	cert.SetMeta(stabilize.MetaCorruption, logged.Corruption.Key())
+	cert.SetMeta(stabilize.MetaAmnesty, strconv.Itoa(logged.Amnesty))
+	cert.SetMeta(stabilize.MetaStabilize, "diverged "+j.Violation.Property)
+	v := &Violation{
+		Property:    j.Violation.Property,
+		Corruption:  logged.Corruption.Key(),
+		Cert:        cert,
+		Ops:         len(in.Ops),
+		FoundAtExec: c.execs.Load(),
+	}
+	// Corrupted findings compete in their own bracket: a clean-start DL1 and
+	// a corrupted-start DL1 are different claims (the latter says nothing
+	// without its start), so neither should evict the other.
+	key := v.Property + "+corrupt"
+	if old, ok := c.wins[key]; ok && old.Ops <= v.Ops {
+		if c.cfg.StopOnViolation {
+			c.stop.Store(true)
+		}
+		return
+	}
+	if c.cfg.OutDir != "" {
+		if err := os.MkdirAll(c.cfg.OutDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "fuzz: out dir: %v\n", err)
+		} else {
+			v.Path = filepath.Join(c.cfg.OutDir, c.cfg.Protocol.Name()+"-"+v.Property+"-corrupt.nft")
+			if err := trace.WriteFile(v.Path, v.Cert); err != nil {
+				fmt.Fprintf(os.Stderr, "fuzz: write certificate: %v\n", err)
+				v.Path = ""
+			}
+		}
+	}
+	c.wins[key] = v
+	if c.cfg.Stats != nil {
+		fmt.Fprintf(c.cfg.Stats, "VIOLATION %s from corrupted start %s after %d execs: %d ops, amnesty %d%s\n",
+			v.Property, v.Corruption, v.FoundAtExec, v.Ops, logged.Amnesty, pathNote(v.Path))
 	}
 	if c.cfg.StopOnViolation {
 		c.stop.Store(true)
@@ -335,21 +424,30 @@ func pickParent(corpus []*Entry, rng *rand.Rand) *Input {
 	return corpus[rng.Intn(len(corpus))].Input
 }
 
-// nextCandidate derives one candidate input from the corpus snapshot.
-func nextCandidate(corpus []*Entry, rng *rand.Rand) *Input {
+// nextCandidate derives one candidate input from the corpus snapshot. With
+// corrupt enabled, a third of the candidates additionally get their
+// corruption gene mutated — applied after the schedule mutations so the gene
+// step never perturbs the clean operators' RNG draws within a candidate.
+func nextCandidate(corpus []*Entry, rng *rand.Rand, corrupt bool) *Input {
 	parent := pickParent(corpus, rng)
+	var cand *Input
 	if len(corpus) >= 2 && rng.Intn(10) == 0 {
 		other := pickParent(corpus, rng)
-		return Mutate(Crossover(parent, other, rng), rng)
+		cand = Mutate(Crossover(parent, other, rng), rng)
+	} else {
+		cand = Mutate(parent, rng)
 	}
-	return Mutate(parent, rng)
+	if corrupt && rng.Intn(3) == 0 {
+		MutateCorrupt(cand, rng)
+	}
+	return cand
 }
 
 // serial is the deterministic single-worker loop.
 func (c *campaign) serial() {
 	rng := rand.New(rand.NewSource(core.SplitSeed(c.cfg.Seed, "fuzz-worker-0")))
 	for c.execs.Load() < c.cfg.Budget && !c.stop.Load() {
-		cand := nextCandidate(c.corpus, rng)
+		cand := nextCandidate(c.corpus, rng, c.cfg.Corrupt)
 		res := Execute(c.cfg.Protocol, cand, false)
 		c.execs.Add(1)
 		c.observe(cand, res, true)
@@ -387,7 +485,7 @@ func (c *campaign) parallel() {
 					c.execs.Add(-1)
 					return
 				}
-				cand := nextCandidate(snap.Load().corpus, rng)
+				cand := nextCandidate(snap.Load().corpus, rng, c.cfg.Corrupt)
 				res := Execute(c.cfg.Protocol, cand, false)
 				if res.DL3 != nil {
 					c.dl3Misses.Add(1)
@@ -447,6 +545,11 @@ func (c *campaign) result() *Result {
 	for _, v := range c.wins {
 		r.Violations = append(r.Violations, v)
 	}
-	sort.Slice(r.Violations, func(i, j int) bool { return r.Violations[i].Property < r.Violations[j].Property })
+	sort.Slice(r.Violations, func(i, j int) bool {
+		if r.Violations[i].Property != r.Violations[j].Property {
+			return r.Violations[i].Property < r.Violations[j].Property
+		}
+		return r.Violations[i].Corruption < r.Violations[j].Corruption
+	})
 	return r
 }

@@ -38,7 +38,8 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 		nil,
 		[]byte("NFZ"),
 		[]byte("XXXX\x01\x00\x00\x00"),
-		[]byte("NFZI\x02\x00\x00\x00"), // bad version
+		[]byte("NFZI\x03\x00\x00\x00"), // unsupported version
+		[]byte("NFZI\x02\x00\x00\x00"), // v2 without its corruption-gene section
 		[]byte("NFZI\x01\x01\x09\x00\x00\x00\x00\x00"),               // unknown op kind
 		[]byte("NFZI\x01\x01\x01\x00\x00\x00\x07\x00"),               // bad decision
 		append((&Input{Ops: []Op{{Kind: OpSubmit}}}).Encode(), 0xff), // trailing

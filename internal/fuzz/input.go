@@ -78,20 +78,26 @@ type Op struct {
 }
 
 // Input is the fuzzer's genotype: an operation schedule plus one recorded
-// decision stream per channel. Decisions are consumed in send order; when a
-// stream runs dry the executor falls back to Delay, exactly as replay does.
+// decision stream per channel, plus an optional corrupted-start gene.
+// Decisions are consumed in send order; when a stream runs dry the executor
+// falls back to Delay, exactly as replay does.
 type Input struct {
 	Ops  []Op
 	Data []trace.Decision
 	Ack  []trace.Decision
+	// Corrupt, when non-nil, selects a corrupted initial configuration from
+	// the protocol's declared corruption space (see corrupt.go); the executor
+	// applies it before the schedule and judges the run under its amnesty.
+	Corrupt *CorruptGene
 }
 
 // Clone returns an independent deep copy.
 func (in *Input) Clone() *Input {
 	c := &Input{
-		Ops:  make([]Op, len(in.Ops)),
-		Data: make([]trace.Decision, len(in.Data)),
-		Ack:  make([]trace.Decision, len(in.Ack)),
+		Ops:     make([]Op, len(in.Ops)),
+		Data:    make([]trace.Decision, len(in.Data)),
+		Ack:     make([]trace.Decision, len(in.Ack)),
+		Corrupt: in.Corrupt.clone(),
 	}
 	copy(c.Ops, in.Ops)
 	copy(c.Data, in.Data)
@@ -104,6 +110,11 @@ func (in *Input) Len() int { return len(in.Ops) }
 
 // String renders a compact summary for logs and stats lines.
 func (in *Input) String() string {
+	if in.Corrupt != nil {
+		return fmt.Sprintf("input{ops=%d data=%d ack=%d corrupt=t%d.r%d+%d/%d}",
+			len(in.Ops), len(in.Data), len(in.Ack),
+			in.Corrupt.TPick, in.Corrupt.RPick, len(in.Corrupt.Data), len(in.Corrupt.Ack))
+	}
 	return fmt.Sprintf("input{ops=%d data=%d ack=%d}", len(in.Ops), len(in.Data), len(in.Ack))
 }
 
@@ -118,8 +129,15 @@ const (
 )
 
 const (
-	inputMagic   = "NFZI"
-	inputVersion = 1
+	inputMagic = "NFZI"
+	// inputVersionV1 is the original format: ops and decision streams only.
+	inputVersionV1 = 1
+	// inputVersionV2 appends the corrupted-start gene section. Encode stamps
+	// it only when the input carries a gene, so gene-free inputs are
+	// byte-identical to what a v1 writer produced — existing corpus
+	// directories keep their content-addressed names, and a pre-corruption
+	// reader only ever rejects files that actually use the new feature.
+	inputVersionV2 = 2
 )
 
 // ErrInputFormat is wrapped by all Decode errors.
@@ -131,10 +149,18 @@ var ErrInputFormat = errors.New("fuzz: bad input encoding")
 //	uvarint nops  | nops × (kind, dir, pick)
 //	uvarint ndata | ndata × decision
 //	uvarint nack  | nack  × decision
+//	-- version 2 only (present iff the input carries a corruption gene) --
+//	tpick (1) | rpick (1)
+//	uvarint ndatapoison | picks
+//	uvarint nackpoison  | picks
 func (in *Input) Encode() []byte {
-	b := make([]byte, 0, 5+3*len(in.Ops)+len(in.Data)+len(in.Ack)+6)
+	b := make([]byte, 0, 5+3*len(in.Ops)+len(in.Data)+len(in.Ack)+16)
 	b = append(b, inputMagic...)
-	b = append(b, inputVersion)
+	if in.Corrupt == nil {
+		b = append(b, inputVersionV1)
+	} else {
+		b = append(b, inputVersionV2)
+	}
 	b = binary.AppendUvarint(b, uint64(len(in.Ops)))
 	for _, op := range in.Ops {
 		b = append(b, byte(op.Kind), byte(op.Dir), op.Pick)
@@ -146,6 +172,13 @@ func (in *Input) Encode() []byte {
 	b = binary.AppendUvarint(b, uint64(len(in.Ack)))
 	for _, d := range in.Ack {
 		b = append(b, byte(d))
+	}
+	if g := in.Corrupt; g != nil {
+		b = append(b, g.TPick, g.RPick)
+		b = binary.AppendUvarint(b, uint64(len(g.Data)))
+		b = append(b, g.Data...)
+		b = binary.AppendUvarint(b, uint64(len(g.Ack)))
+		b = append(b, g.Ack...)
 	}
 	return b
 }
@@ -160,8 +193,10 @@ func Decode(b []byte) (*Input, error) {
 	if string(b[:len(inputMagic)]) != inputMagic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrInputFormat, b[:len(inputMagic)])
 	}
-	if v := b[len(inputMagic)]; v != inputVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d (have %d)", ErrInputFormat, v, inputVersion)
+	version := b[len(inputMagic)]
+	if version != inputVersionV1 && version != inputVersionV2 {
+		return nil, fmt.Errorf("%w: unsupported version %d (this reader handles %d and %d)",
+			ErrInputFormat, version, inputVersionV1, inputVersionV2)
 	}
 	b = b[len(inputMagic)+1:]
 
@@ -211,6 +246,26 @@ func Decode(b []byte) (*Input, error) {
 		}
 		*stream = s
 		b = b[cnt:]
+	}
+	if version == inputVersionV2 {
+		if len(b) < 2 {
+			return nil, fmt.Errorf("%w: truncated corruption gene", ErrInputFormat)
+		}
+		g := &CorruptGene{TPick: b[0], RPick: b[1]}
+		b = b[2:]
+		for _, picks := range []*[]uint8{&g.Data, &g.Ack} {
+			cnt, n := binary.Uvarint(b)
+			if n <= 0 || cnt > MaxPoisonGenes {
+				return nil, fmt.Errorf("%w: bad poison pick count", ErrInputFormat)
+			}
+			b = b[n:]
+			if uint64(len(b)) < cnt {
+				return nil, fmt.Errorf("%w: truncated poison picks", ErrInputFormat)
+			}
+			*picks = append([]uint8(nil), b[:cnt]...)
+			b = b[cnt:]
+		}
+		in.Corrupt = g
 	}
 	if len(b) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrInputFormat, len(b))

@@ -201,7 +201,10 @@ func Crossover(a, b *Input, rng *rand.Rand) *Input {
 		out = append(out, x[:i]...)
 		return append(out, y[j:]...)
 	}
-	c := &Input{Ops: cut(a.Ops, b.Ops), Data: cutD(a.Data, b.Data), Ack: cutD(a.Ack, b.Ack)}
+	// The corrupted-start gene rides with the first parent: a corruption is
+	// a property of the whole run (it happens before op 0), so splicing two
+	// genes has no schedule-level meaning the way splicing ops does.
+	c := &Input{Ops: cut(a.Ops, b.Ops), Data: cutD(a.Data, b.Data), Ack: cutD(a.Ack, b.Ack), Corrupt: a.Corrupt.clone()}
 	if len(c.Ops) == 0 {
 		c.Ops = append(c.Ops, Op{Kind: OpSubmit}, Op{Kind: OpTransmit})
 	}

@@ -49,6 +49,36 @@ func (AltBit) New(_, _ channel.Genie) (Transmitter, Receiver) {
 	return &altBitT{}, &altBitR{}
 }
 
+// SelfStabilizing implements StabilizeStatus: the alternating bit protocol
+// has no repair rule at all — a flipped expect bit or a poison data packet
+// with the expected bit immediately costs more faults than the amnesty
+// budget forgives, so a divergence witness is expected.
+func (AltBit) SelfStabilizing() bool { return false }
+
+// Corruptions implements Corruptible: single-bit endpoint corruptions plus
+// forged data packets (garbage payload "z") and forged acks on either bit.
+func (AltBit) Corruptions() CorruptionSpace {
+	return CorruptionSpace{
+		Transmitters: []Transmitter{
+			&altBitT{},
+			&altBitT{bit: 1},
+			&altBitT{busy: true, payload: "z"},
+		},
+		Receivers: []Receiver{
+			&altBitR{},
+			&altBitR{expect: 1},
+		},
+		DataPoison: []ioa.Packet{
+			{Header: "d0", Payload: "z"},
+			{Header: "d1", Payload: "z"},
+		},
+		AckPoison: []ioa.Packet{
+			{Header: "a0"},
+			{Header: "a1"},
+		},
+	}
+}
+
 // altBitT is the alternating bit transmitter: resend the current data
 // packet until the matching ack arrives, then flip the bit.
 type altBitT struct {

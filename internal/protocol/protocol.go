@@ -151,6 +151,47 @@ type DLStatus interface {
 	AttackBounds() (occupancy, messages int)
 }
 
+// CorruptionSpace enumerates the bounded corrupted initial configurations of
+// a protocol: alternative endpoint start states and channel pre-contents the
+// self-stabilization tooling (internal/stabilize, `nfvet stabilize`,
+// `nffuzz -corrupt`, `nfvet verify -stabilize`) injects before time 0. The
+// space is a cross product: any listed transmitter × any listed receiver ×
+// any multiset (up to the occupancy bound) of poison packets per channel.
+type CorruptionSpace struct {
+	// Transmitters are the corrupted transmitter start states. Index 0 MUST
+	// be the clean initial state; the slice must be non-empty. Entries are
+	// templates: injection clones them, so one space can seed many runs.
+	Transmitters []Transmitter
+	// Receivers are the corrupted receiver start states, same conventions.
+	Receivers []Receiver
+	// DataPoison and AckPoison are the alphabets of packets an adversary may
+	// pre-load onto the t→r and r→t channels ("in transit since before time
+	// 0"). The enumeration places multisets over these alphabets up to the
+	// channel occupancy bound.
+	DataPoison []ioa.Packet
+	AckPoison  []ioa.Packet
+}
+
+// Corruptible is an optional Protocol extension declaring the protocol's
+// bounded corruption space, making it a subject for arbitrary-start
+// convergence checking. Corrupted endpoint states must satisfy the same
+// StateKey/Clone contracts as clean ones, so corrupted configurations get
+// canonical keys and intern into the existing coverage and visited maps.
+type Corruptible interface {
+	Corruptions() CorruptionSpace
+}
+
+// StabilizeStatus is an optional Protocol extension declaring whether the
+// protocol is expected to self-stabilize: to recover DL1–DL3, up to finitely
+// many initial faults, from every configuration in its corruption space. It
+// is the convergence analogue of DLStatus — `nfvet verify -stabilize` FAILs
+// a declared-stabilizing protocol it finds a divergence witness for, and
+// FAILs a declared-non-stabilizing protocol whose bounded corrupted space is
+// exhausted divergence-free.
+type StabilizeStatus interface {
+	SelfStabilizing() bool
+}
+
 // ControlKeyer is an optional endpoint extension returning the *control
 // state* key: StateKey quotiented by bookkeeping that grows without bound
 // but never influences behavior — a phase counter the automaton only reads
@@ -196,6 +237,8 @@ func Registry() map[string]Protocol {
 		NewCntExp(),
 		NewCntK(4),
 		NewCheat(1),
+		NewStabDL(2),
+		NewStabNaive(),
 	}
 	m := make(map[string]Protocol, len(ps))
 	for _, p := range ps {

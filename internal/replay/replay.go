@@ -43,6 +43,8 @@ func LookupProtocol(name string) (protocol.Protocol, error) {
 		return protocol.NewLivelock(), nil
 	case "cntnobind":
 		return protocol.NewCntNoBind(), nil
+	case "arrival":
+		return protocol.NewArrival(), nil
 	}
 	if s, ok := strings.CutPrefix(name, "cheat"); ok {
 		if d, err := strconv.Atoi(s); err == nil && d > 0 {
@@ -54,10 +56,15 @@ func LookupProtocol(name string) (protocol.Protocol, error) {
 			return protocol.NewCntK(k), nil
 		}
 	}
+	if s, ok := strings.CutPrefix(name, "stabdl"); ok {
+		if c, err := strconv.Atoi(s); err == nil && c > 0 {
+			return protocol.NewStabDL(c), nil
+		}
+	}
 	if p, ok := transport.Parse(name); ok {
 		return p, nil
 	}
-	return nil, fmt.Errorf("replay: unknown protocol %q (known: %s, plus livelock, cntnobind, cheat<d>, cntk<k>, swindow-s<S>-w<W>, gbn-s<S>-w<W>, and their -unbounded-w<W> forms)",
+	return nil, fmt.Errorf("replay: unknown protocol %q (known: %s, plus livelock, cntnobind, arrival, cheat<d>, cntk<k>, stabdl<c>, swindow-s<S>-w<W>, gbn-s<S>-w<W>, and their -unbounded-w<W> forms)",
 		name, strings.Join(protocol.Names(), ", "))
 }
 
@@ -202,6 +209,18 @@ func redriveWith(l *trace.Log, proto protocol.Protocol) (*redriven, error) {
 		case trace.KindDropStale:
 			if err := r.DropStale(e.Dir, e.Pkt); err != nil {
 				rd.staleSkipped++
+			}
+		case trace.KindCorrupt:
+			// Corrupted-start moves are structural: a trace that replays
+			// them out of range or against a non-Corruptible protocol is
+			// malformed, not shrunk, so the failure is fatal rather than
+			// skipped.
+			if err := r.CorruptStart(e.Index, int(e.Bits)); err != nil {
+				return nil, fmt.Errorf("replay: %w", err)
+			}
+		case trace.KindPoison:
+			if err := r.Poison(e.Dir, e.Pkt); err != nil {
+				return nil, fmt.Errorf("replay: %w", err)
 			}
 		}
 	}

@@ -390,6 +390,76 @@ func (r *Runner) DropStale(d ioa.Dir, p ioa.Packet) error {
 	return nil
 }
 
+// CorruptStart replaces the endpoint start states with entries tIdx/rIdx of
+// the protocol's declared corruption space (protocol.Corruptible) — the
+// self-stabilization adversary's before-time-0 move. Index 0 selects the
+// clean start for that endpoint. The entries are cloned from the space's
+// templates and their channel genies rebound to this runner's live channels,
+// so corrupted endpoints satisfy the same contracts as clean ones.
+//
+// It must be called before any other operation: corruption models an
+// arbitrary *initial* configuration, not a mid-run fault.
+func (r *Runner) CorruptStart(tIdx, rIdx int) error {
+	c, ok := r.cfg.Protocol.(protocol.Corruptible)
+	if !ok {
+		return fmt.Errorf("sim: protocol %s does not declare a corruption space", r.cfg.Protocol.Name())
+	}
+	if r.sent > 0 || r.metrics.TotalDataPackets > 0 || r.metrics.TotalAckPackets > 0 ||
+		r.ChData.InTransit() > 0 || r.ChAck.InTransit() > 0 {
+		return errors.New("sim: CorruptStart after the run began")
+	}
+	space := c.Corruptions()
+	if tIdx < 0 || tIdx >= len(space.Transmitters) {
+		return fmt.Errorf("sim: corrupt transmitter index %d out of range [0,%d)", tIdx, len(space.Transmitters))
+	}
+	if rIdx < 0 || rIdx >= len(space.Receivers) {
+		return fmt.Errorf("sim: corrupt receiver index %d out of range [0,%d)", rIdx, len(space.Receivers))
+	}
+	r.T = space.Transmitters[tIdx].Clone()
+	r.R = space.Receivers[rIdx].Clone()
+	if tg, ok := r.T.(protocol.AckGenieUser); ok {
+		tg.SetAckGenie(channel.ChannelGenie{Ch: r.ChAck})
+	}
+	if rg, ok := r.R.(protocol.DataGenieUser); ok {
+		rg.SetDataGenie(channel.ChannelGenie{Ch: r.ChData})
+	}
+	if r.tlog != nil {
+		r.tlog.Emit(trace.Event{Kind: trace.KindCorrupt, Index: tIdx, Bits: uint64(rIdx)})
+	}
+	r.sampleState()
+	return nil
+}
+
+// Poison pre-loads one packet onto the given channel: it has been "in
+// transit since before time 0". The send is recorded in the ioa trace (so
+// PL1 — no packet received that was never sent — holds over the poisoned
+// run by construction) but is charged to neither the packet metrics nor the
+// header alphabet: poison is adversary supply, not protocol cost. Poisoned
+// copies are subsequently delivered or dropped through the ordinary
+// DeliverStale/DropStale moves.
+func (r *Runner) Poison(d ioa.Dir, p ioa.Packet) error {
+	if r.sent > 0 || r.metrics.TotalDataPackets > 0 || r.metrics.TotalAckPackets > 0 {
+		return errors.New("sim: Poison after the run began")
+	}
+	var ch *channel.NonFIFO
+	switch d {
+	case ioa.TtoR:
+		ch = r.ChData
+	case ioa.RtoT:
+		ch = r.ChAck
+	default:
+		return fmt.Errorf("sim: unknown direction %v", d)
+	}
+	ch.Send(p)
+	if r.rec != nil {
+		r.rec.SendPkt(d, p)
+	}
+	if r.tlog != nil {
+		r.tlog.Emit(trace.Event{Kind: trace.KindPoison, Dir: d, Pkt: p})
+	}
+	return nil
+}
+
 // recordStale logs the stale-delivery operation (before its receive_pkt
 // observation, so replay re-issues the op and then verifies the effect).
 func (r *Runner) recordStale(d ioa.Dir, p ioa.Packet) {

@@ -1,0 +1,217 @@
+package stabilize
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+)
+
+// The amnesty judge: finite-prefix DL1–DL3 for corrupted starts.
+//
+// The clean-start checkers in internal/ioa demand perfection from the first
+// delivery, which no protocol can offer from a corrupted configuration — a
+// poison packet already in transit WILL eventually be delivered, and a
+// corrupted receiver WILL mis-handle the first real packet. Stabilization
+// theory instead asks for convergence: after finitely many faults, the run
+// behaves like a clean one. The judge makes that finite: each corruption
+// buys a fault budget (Amnesty), each incorrect delivery is classified and
+// charged against it, and the run diverges exactly when the charges exceed
+// the budget.
+//
+// Classification tracks the submitted-message frontier f (the next send
+// position whose delivery would be clean progress) and the set of positions
+// skipped over (which may still arrive late). A delivery of payload p when
+// s messages have been submitted is one of:
+//
+//	progress     p == payload(f)               no charge, f++
+//	skip-ahead   p == payload(j), f < j < s    charge j-f (the stranded
+//	                                           window), positions f..j-1
+//	                                           enter the lost set, f = j+1
+//	late arrival p == payload(j), j in lost    charge 1, DL2-flavoured:
+//	                                           FIFO order broken, but the
+//	                                           message did arrive
+//	duplicate    p == payload(j), j < f seen   charge 1, DL1-flavoured
+//	garbage      p matches nothing submitted   charge 1, DL1-flavoured
+//
+// Quiescent judging adds a final DL3-flavoured charge per submitted message
+// at or past the frontier that never arrived: the transmitter confirmed it
+// (it went idle) yet nobody delivered it.
+
+// StepKind classifies one delivery.
+type StepKind int
+
+const (
+	// StepProgress is a clean in-order delivery of the frontier message.
+	StepProgress StepKind = iota
+	// StepSkip is a delivery of a later message, stranding the window
+	// between the frontier and it.
+	StepSkip
+	// StepLate is a delivery of a previously skipped message (DL2: FIFO
+	// order broken).
+	StepLate
+	// StepDup is a re-delivery of an already delivered message (DL1).
+	StepDup
+	// StepGarbage is a delivery matching no submitted message (DL1).
+	StepGarbage
+)
+
+// String renders the step kind for reports.
+func (k StepKind) String() string {
+	switch k {
+	case StepProgress:
+		return "progress"
+	case StepSkip:
+		return "skip"
+	case StepLate:
+		return "late"
+	case StepDup:
+		return "dup"
+	case StepGarbage:
+		return "garbage"
+	}
+	return fmt.Sprintf("StepKind(%d)", int(k))
+}
+
+// Property maps the step kind to the data-link property it offends; empty
+// for StepProgress.
+func (k StepKind) Property() string {
+	switch k {
+	case StepSkip, StepDup, StepGarbage:
+		return "DL1"
+	case StepLate:
+		return "DL2"
+	}
+	return ""
+}
+
+// MaxLost bounds the number of submit positions the lost-set bitmask can
+// track. Judged runs must submit fewer messages than this; the bounded
+// explorer and fuzzer stay well under it.
+const MaxLost = 64
+
+// Classify judges one delivery of payload p against the amnesty
+// bookkeeping: frontier is the next expected submit position, lost a
+// bitmask of skipped positions (bit i = payload(i) skipped and not yet
+// arrived), submitted the number of messages submitted so far, and
+// payloadAt resolves a submit position to its payload. It returns the step
+// kind, the charge, and the updated frontier and lost set. Positions at or
+// beyond MaxLost saturate: skips past it are charged but not tracked for
+// late arrival (such a delivery then charges as a duplicate — still a
+// fault, so judgments stay sound, merely coarser).
+func Classify(p string, payloadAt func(int) string, frontier int, lost uint64, submitted int) (kind StepKind, charge int, newFrontier int, newLost uint64) {
+	if frontier < submitted && p == payloadAt(frontier) {
+		return StepProgress, 0, frontier + 1, lost
+	}
+	for j := frontier + 1; j < submitted; j++ {
+		if p != payloadAt(j) {
+			continue
+		}
+		// Skip-ahead: positions frontier..j-1 are stranded; each is one
+		// fault now (and a second, DL2 fault if it later arrives).
+		for i := frontier; i < j && i < MaxLost; i++ {
+			lost |= 1 << uint(i)
+		}
+		return StepSkip, j - frontier, j + 1, lost
+	}
+	for j := frontier - 1; j >= 0; j-- {
+		if p != payloadAt(j) {
+			continue
+		}
+		if j < MaxLost && lost&(1<<uint(j)) != 0 {
+			return StepLate, 1, frontier, lost &^ (1 << uint(j))
+		}
+		return StepDup, 1, frontier, lost
+	}
+	return StepGarbage, 1, frontier, lost
+}
+
+// Judgment is the amnesty judge's verdict on one trace.
+type Judgment struct {
+	// Violation is non-nil when the charges exceeded the amnesty; its
+	// Index is the position in the judged trace of the delivery (or, for
+	// quiescent strand charges, -1) that went over.
+	Violation *ioa.Violation
+	// Charges is the total fault count, Amnesty the budget it was judged
+	// against.
+	Charges, Amnesty int
+	// Frontier is the next expected submit position after the trace.
+	Frontier int
+	// Lost is the bitmask of skipped positions that never arrived.
+	Lost uint64
+	// Stranded counts submitted messages at or past the frontier that were
+	// never delivered; only quiescent judging charges them.
+	Stranded int
+	// LastCharge is the trace index of the last charged delivery, or -1.
+	// After convergence this is the point past which the run is clean —
+	// the convergence prefix length.
+	LastCharge int
+	// Kinds counts deliveries per step kind, indexed by StepKind.
+	Kinds [5]int
+}
+
+// judge walks the trace, classifying every receive_msg against the
+// positional submit history.
+func judge(tr ioa.Trace, amnesty int) *Judgment {
+	j := &Judgment{Amnesty: amnesty, LastCharge: -1}
+	var payloads []string
+	at := func(i int) string { return payloads[i] }
+	for i, e := range tr {
+		switch e.Kind {
+		case ioa.SendMsg:
+			payloads = append(payloads, e.Msg.Payload)
+		case ioa.ReceiveMsg:
+			kind, charge, nf, nl := Classify(e.Msg.Payload, at, j.Frontier, j.Lost, len(payloads))
+			j.Kinds[kind]++
+			j.Frontier, j.Lost = nf, nl
+			if charge == 0 {
+				continue
+			}
+			j.Charges += charge
+			j.LastCharge = i
+			if j.Charges > amnesty && j.Violation == nil {
+				prop := kind.Property()
+				j.Violation = &ioa.Violation{
+					Property: prop,
+					Index:    i,
+					Detail: fmt.Sprintf("%s delivery of %q: %d fault(s) charged, amnesty %d",
+						kind, e.Msg.Payload, j.Charges, amnesty),
+				}
+			}
+		}
+	}
+	return j
+}
+
+// JudgeTrace judges a (possibly still running) trace prefix against the
+// amnesty budget. Messages not yet delivered are not charged — they may
+// still be in flight.
+func JudgeTrace(tr ioa.Trace, amnesty int) *Judgment {
+	return judge(tr, amnesty)
+}
+
+// JudgeQuiescent judges a completed run: the transmitter has gone idle, so
+// every submitted message has been confirmed, and any message at or past
+// the frontier that was never delivered is a DL3-flavoured fault (skipped
+// positions before the frontier were already charged when skipped).
+func JudgeQuiescent(tr ioa.Trace, amnesty int) *Judgment {
+	j := judge(tr, amnesty)
+	submitted := 0
+	for _, e := range tr {
+		if e.Kind == ioa.SendMsg {
+			submitted++
+		}
+	}
+	j.Stranded = submitted - j.Frontier
+	if j.Stranded > 0 {
+		j.Charges += j.Stranded
+		if j.Charges > amnesty && j.Violation == nil {
+			j.Violation = &ioa.Violation{
+				Property: "DL3",
+				Index:    -1,
+				Detail: fmt.Sprintf("%d submitted message(s) confirmed but never delivered: %d fault(s) charged, amnesty %d",
+					j.Stranded, j.Charges, amnesty),
+			}
+		}
+	}
+	return j
+}

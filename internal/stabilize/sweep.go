@@ -1,0 +1,135 @@
+package stabilize
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/protocol"
+)
+
+// Sweep runs CheckConvergence over a protocol's entire bounded corruption
+// space (Enumerate with maxPoison) and aggregates the outcome against the
+// protocol's declared protocol.StabilizeStatus, in the repo's standard
+// verdict vocabulary:
+//
+//	CERTIFIED  — the declaration is backed by a replay-confirmed artifact
+//	             (a declared-non-stabilizing protocol with a confirmed
+//	             divergence witness).
+//	CONSISTENT — the observation matches the declaration but this sweep
+//	             cannot certify it (one canonical schedule per seed proves
+//	             nothing exhaustively; `nfvet verify -stabilize` does).
+//	OBSERVED   — no declaration to check against, or the declaration was
+//	             not exercised by the canonical schedule.
+//	FAIL       — the observation contradicts the declaration: a declared
+//	             self-stabilizing protocol has a diverging corrupted start.
+type SweepReport struct {
+	Protocol string
+	// Occupancy, Probes and MaxPoison echo the sweep's bounds.
+	Occupancy, Probes, MaxPoison int
+	// Seeds is the size of the enumerated corruption space; Converged and
+	// Diverged partition it. Confirmed counts diverged seeds whose witness
+	// replay-confirmed; Livelocks counts those certified as pumped cycles.
+	Seeds, Converged, Diverged int
+	Confirmed, Livelocks       int
+	// First is the first diverging report in enumeration order (nil when
+	// every seed converged); Reports holds all reports in the same order.
+	First   *Report
+	Reports []*Report
+	// Declared is the protocol's StabilizeStatus declaration; nil when the
+	// protocol does not declare one.
+	Declared *bool
+	// Check is the verdict; Note explains it when it is not self-evident.
+	Check string
+	Note  string
+}
+
+// Sweep checks every corruption in p's bounded space. It returns an error
+// only on harness failures (a seed that cannot be applied), never on
+// divergence — divergence is a reportable outcome, not an error.
+func Sweep(p protocol.Protocol, cfg Config, maxPoison int) (*SweepReport, error) {
+	cfg = cfg.withDefaults()
+	sr := &SweepReport{
+		Protocol:  p.Name(),
+		Occupancy: cfg.Occupancy,
+		Probes:    cfg.Probes,
+		MaxPoison: maxPoison,
+	}
+	for _, seed := range Enumerate(p, maxPoison) {
+		rep, err := CheckConvergence(p, seed, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("stabilize: seed %s: %w", seed, err)
+		}
+		sr.Reports = append(sr.Reports, rep)
+		sr.Seeds++
+		if rep.Converged {
+			sr.Converged++
+			continue
+		}
+		sr.Diverged++
+		if rep.ReplayConfirmed {
+			sr.Confirmed++
+		}
+		if rep.Cert != nil {
+			sr.Livelocks++
+		}
+		if sr.First == nil {
+			sr.First = rep
+		}
+	}
+	if ss, ok := p.(protocol.StabilizeStatus); ok {
+		v := ss.SelfStabilizing()
+		sr.Declared = &v
+	}
+	sr.judge()
+	return sr, nil
+}
+
+// judge derives Check/Note from the aggregate counts and the declaration.
+func (sr *SweepReport) judge() {
+	switch {
+	case sr.Declared == nil:
+		sr.Check = "OBSERVED"
+		sr.Note = "no StabilizeStatus declaration to check against"
+	case *sr.Declared && sr.Diverged > 0:
+		sr.Check = "FAIL"
+		sr.Note = fmt.Sprintf("declared self-stabilizing but %d corrupted start(s) diverge (first: %s)",
+			sr.Diverged, sr.First.Seed)
+	case *sr.Declared:
+		sr.Check = "CONSISTENT"
+		sr.Note = "all seeds converge under the canonical schedule; `nfvet verify -stabilize` certifies exhaustively"
+	case sr.Confirmed > 0:
+		sr.Check = "CERTIFIED"
+		sr.Note = "declared not self-stabilizing; a replay-confirmed divergence witness backs it"
+	case sr.Diverged > 0:
+		sr.Check = "CONSISTENT"
+		sr.Note = "divergences observed but none replay-confirmed"
+	default:
+		sr.Check = "OBSERVED"
+		sr.Note = "declared not self-stabilizing, but the canonical schedule found no divergence; run `nfvet verify -stabilize`"
+	}
+}
+
+// String renders the sweep in the style of the repo's other reports.
+func (sr *SweepReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stabilize: %s\n", sr.Protocol)
+	fmt.Fprintf(&b, "  seeds:     %d corrupted start(s), max poison %d/channel, occupancy %d, probes %d\n",
+		sr.Seeds, sr.MaxPoison, sr.Occupancy, sr.Probes)
+	fmt.Fprintf(&b, "  converged: %d/%d within amnesty\n", sr.Converged, sr.Seeds)
+	if sr.Diverged > 0 {
+		fmt.Fprintf(&b, "  diverged:  %d (%d replay-confirmed, %d certified livelock(s))\n",
+			sr.Diverged, sr.Confirmed, sr.Livelocks)
+		fmt.Fprintf(&b, "  first:     seed %s: %s %s\n",
+			sr.First.Seed, sr.First.Violation.Property, sr.First.Violation.Detail)
+	}
+	switch {
+	case sr.Declared == nil:
+		fmt.Fprintf(&b, "  declared:  (none)\n")
+	case *sr.Declared:
+		fmt.Fprintf(&b, "  declared:  self-stabilizing\n")
+	default:
+		fmt.Fprintf(&b, "  declared:  not self-stabilizing\n")
+	}
+	fmt.Fprintf(&b, "  check:     %s (%s)\n", sr.Check, sr.Note)
+	return b.String()
+}

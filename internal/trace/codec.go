@@ -12,10 +12,10 @@ import (
 	"repro/internal/ioa"
 )
 
-// The NFT on-disk format, version 1:
+// The NFT on-disk format:
 //
 //	magic   "NFTRC"            (5 bytes)
-//	version 0x01               (1 byte)
+//	version 0x01 or 0x02       (1 byte)
 //	meta    uvarint count, then count × (string key, string value)
 //	events  until EOF: kind byte + kind-specific fields
 //
@@ -23,11 +23,27 @@ import (
 // directions and decisions are single bytes. The format is append-only and
 // self-describing: a reader needs nothing but the file, and unknown trailing
 // bytes fail loudly rather than silently.
+//
+// Version 2 differs from version 1 only in admitting the corrupted-start
+// operations KindCorrupt and KindPoison (internal/stabilize). Encode stamps
+// version 2 only when a log actually contains one of them, so every legacy
+// log still round-trips byte-identically as version 1, and a version-1
+// reader rejects corrupted-start logs at the header with a clear
+// unsupported-version error instead of choking mid-stream on an unknown
+// kind.
 
 const (
-	magic   = "NFTRC"
-	version = 1
+	magic = "NFTRC"
+	// versionV1 is the original format; versionV2 adds the corrupted-start
+	// event kinds. version is the newest version this package reads.
+	versionV1 = 1
+	versionV2 = 2
+	version   = versionV2
 )
+
+// requiresV2 reports whether the event kind is only encodable in format
+// version 2.
+func requiresV2(k Kind) bool { return k == KindCorrupt || k == KindPoison }
 
 // ErrFormat is wrapped by decode errors for malformed trace files.
 var ErrFormat = errors.New("trace: malformed trace file")
@@ -37,19 +53,32 @@ var ErrFormat = errors.New("trace: malformed trace file")
 // emitted. Writer implements Sink; the first encoding error is latched and
 // reported by Err and Flush.
 type Writer struct {
-	bw  *bufio.Writer
-	buf []byte
-	err error
+	bw      *bufio.Writer
+	buf     []byte
+	version byte
+	err     error
 }
 
-// NewWriter writes the file header (magic, version, meta) and returns a
-// streaming writer.
+// NewWriter writes a version-1 file header (magic, version, meta) and
+// returns a streaming writer. Emitting a corrupted-start event (KindCorrupt,
+// KindPoison) through a version-1 writer latches an error — the header is
+// already on the wire, so the stream cannot be upgraded; use
+// NewWriterVersion with versionV2 (as Log.Encode does automatically) when
+// the log may contain them.
 func NewWriter(w io.Writer, meta map[string]string) (*Writer, error) {
-	tw := &Writer{bw: bufio.NewWriter(w)}
+	return NewWriterVersion(w, meta, versionV1)
+}
+
+// NewWriterVersion is NewWriter with an explicit format version stamp.
+func NewWriterVersion(w io.Writer, meta map[string]string, v byte) (*Writer, error) {
+	if v < versionV1 || v > version {
+		return nil, fmt.Errorf("trace: unsupported writer version %d (have %d)", v, version)
+	}
+	tw := &Writer{bw: bufio.NewWriter(w), version: v}
 	if _, err := tw.bw.WriteString(magic); err != nil {
 		return nil, err
 	}
-	if err := tw.bw.WriteByte(version); err != nil {
+	if err := tw.bw.WriteByte(v); err != nil {
 		return nil, err
 	}
 	keys := make([]string, 0, len(meta))
@@ -74,6 +103,10 @@ func (tw *Writer) Emit(e Event) {
 	if tw.err != nil {
 		return
 	}
+	if requiresV2(e.Kind) && tw.version < versionV2 {
+		tw.err = fmt.Errorf("trace: event %s requires format version %d, writer stamped version %d", e.Kind, versionV2, tw.version)
+		return
+	}
 	tw.buf = appendEvent(tw.buf[:0], e)
 	if _, err := tw.bw.Write(tw.buf); err != nil {
 		tw.err = err
@@ -93,8 +126,9 @@ func (tw *Writer) Flush() error {
 
 // Reader streams a trace log from an io.Reader.
 type Reader struct {
-	br   *bufio.Reader
-	meta map[string]string
+	br      *bufio.Reader
+	meta    map[string]string
+	version byte
 }
 
 // NewReader validates the header and returns a streaming reader.
@@ -107,8 +141,9 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if string(head[:len(magic)]) != magic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, head[:len(magic)])
 	}
-	if head[len(magic)] != version {
-		return nil, fmt.Errorf("%w: unsupported version %d (have %d)", ErrFormat, head[len(magic)], version)
+	v := head[len(magic)]
+	if v < versionV1 || v > version {
+		return nil, fmt.Errorf("%w: unsupported version %d (have %d)", ErrFormat, v, version)
 	}
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -132,18 +167,39 @@ func NewReader(r io.Reader) (*Reader, error) {
 		}
 		meta[k] = v
 	}
-	return &Reader{br: br, meta: meta}, nil
+	return &Reader{br: br, meta: meta, version: v}, nil
 }
 
 // Meta returns the file's metadata.
 func (tr *Reader) Meta() map[string]string { return tr.meta }
 
-// Next decodes the next event; it returns io.EOF at a clean end of log.
-func (tr *Reader) Next() (Event, error) { return readEvent(tr.br) }
+// Version returns the file's format version.
+func (tr *Reader) Version() byte { return tr.version }
 
-// Encode writes the whole log to w in the NFT format.
+// Next decodes the next event; it returns io.EOF at a clean end of log.
+// Corrupted-start events in a stream stamped version 1 are rejected: a
+// version-1 producer cannot have written them, so their presence means the
+// file is corrupt.
+func (tr *Reader) Next() (Event, error) {
+	e, err := readEvent(tr.br)
+	if err == nil && requiresV2(e.Kind) && tr.version < versionV2 {
+		return Event{}, fmt.Errorf("%w: event %s requires format version %d, file stamped version %d", ErrFormat, e.Kind, versionV2, tr.version)
+	}
+	return e, err
+}
+
+// Encode writes the whole log to w in the NFT format, stamping version 2
+// only when the log contains corrupted-start events — legacy logs encode
+// byte-identically to the version-1 format.
 func (l *Log) Encode(w io.Writer) error {
-	tw, err := NewWriter(w, l.Meta)
+	v := byte(versionV1)
+	for _, e := range l.Events {
+		if requiresV2(e.Kind) {
+			v = versionV2
+			break
+		}
+	}
+	tw, err := NewWriterVersion(w, l.Meta, v)
 	if err != nil {
 		return err
 	}
@@ -210,10 +266,13 @@ func appendEvent(b []byte, e Event) []byte {
 		b = appendString(b, e.Msg.Payload)
 	case KindTransmit, KindDrain:
 		// no fields
-	case KindStale, KindDropStale, KindSendPkt, KindRecvPkt:
+	case KindStale, KindDropStale, KindSendPkt, KindRecvPkt, KindPoison:
 		b = append(b, byte(e.Dir))
 		b = appendString(b, e.Pkt.Header)
 		b = appendString(b, e.Pkt.Payload)
+	case KindCorrupt:
+		b = binary.AppendVarint(b, int64(e.Index))
+		b = binary.AppendUvarint(b, e.Bits)
 	case KindDecision:
 		b = append(b, byte(e.Dir), byte(e.Decision))
 	case KindRNG:
@@ -265,7 +324,7 @@ func readEvent(br *bufio.Reader) (Event, error) {
 		}
 	case KindTransmit, KindDrain:
 		// no fields
-	case KindStale, KindDropStale, KindSendPkt, KindRecvPkt:
+	case KindStale, KindDropStale, KindSendPkt, KindRecvPkt, KindPoison:
 		db, err := br.ReadByte()
 		if err != nil {
 			return fail("dir", err)
@@ -276,6 +335,15 @@ func readEvent(br *bufio.Reader) (Event, error) {
 		}
 		if e.Pkt.Payload, err = readString(br); err != nil {
 			return fail("payload", err)
+		}
+	case KindCorrupt:
+		idx, err := binary.ReadVarint(br)
+		if err != nil {
+			return fail("tidx", err)
+		}
+		e.Index = int(idx)
+		if e.Bits, err = binary.ReadUvarint(br); err != nil {
+			return fail("ridx", err)
 		}
 	case KindDecision:
 		db, err := br.ReadByte()

@@ -74,6 +74,17 @@ const (
 	// predating it fail loudly on the unknown kind rather than
 	// misinterpreting the stream.
 	KindDropStale
+	// KindCorrupt is the operation sim.Runner.CorruptStart(tIdx, rIdx): the
+	// self-stabilization adversary's before-time-0 move, replacing the
+	// endpoint start states with entries tIdx/rIdx of the protocol's
+	// declared corruption space. Index carries tIdx and Bits carries rIdx.
+	// Requires on-disk format version 2 (see codec.go).
+	KindCorrupt
+	// KindPoison is the operation sim.Runner.Poison(dir, pkt): pre-loading
+	// one packet onto a channel "in transit since before time 0". Like
+	// KindCorrupt it is a corrupted-start move that, by convention, precedes
+	// every ordinary operation in a log. Requires on-disk format version 2.
+	KindPoison
 )
 
 // String returns the kind's wire name.
@@ -89,6 +100,10 @@ func (k Kind) String() string {
 		return "stale"
 	case KindDropStale:
 		return "drop_stale"
+	case KindCorrupt:
+		return "corrupt"
+	case KindPoison:
+		return "poison"
 	case KindSendPkt:
 		return "send_pkt"
 	case KindRecvPkt:
@@ -110,7 +125,8 @@ func (k Kind) String() string {
 // as opposed to an observation (compared on replay).
 func (k Kind) IsOp() bool {
 	switch k {
-	case KindSubmit, KindTransmit, KindDrain, KindStale, KindDropStale:
+	case KindSubmit, KindTransmit, KindDrain, KindStale, KindDropStale,
+		KindCorrupt, KindPoison:
 		return true
 	}
 	return false
@@ -170,8 +186,10 @@ func (e Event) String() string {
 	switch e.Kind {
 	case KindSubmit, KindRecvMsg:
 		return fmt.Sprintf("%s(%s)", e.Kind, e.Msg)
-	case KindSendPkt, KindRecvPkt, KindStale, KindDropStale:
+	case KindSendPkt, KindRecvPkt, KindStale, KindDropStale, KindPoison:
 		return fmt.Sprintf("%s^%s(%s)", e.Kind, e.Dir, e.Pkt)
+	case KindCorrupt:
+		return fmt.Sprintf("%s(t=%d r=%d)", e.Kind, e.Index, e.Bits)
 	case KindDecision:
 		return fmt.Sprintf("%s^%s=%s", e.Kind, e.Dir, e.Decision)
 	case KindRNG:

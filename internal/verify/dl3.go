@@ -45,7 +45,17 @@ func (e *explorer) strandedCandidates() []int32 {
 	}
 	var out []int32
 	for id := range e.parents {
-		if !good[id] && e.nodes[id].submitted > e.nodes[id].delivered {
+		if good[id] {
+			continue
+		}
+		stranded := e.nodes[id].submitted > e.nodes[id].delivered
+		if e.cfg.Stabilize {
+			// Corrupted runs also deliver garbage and duplicates, which
+			// inflate the delivery count without progress; a message is
+			// stranded when the clean frontier has not passed it.
+			stranded = e.nodes[id].submitted > e.nodes[id].frontier
+		}
+		if stranded {
 			out = append(out, int32(id))
 		}
 	}
@@ -66,7 +76,8 @@ func (e *explorer) confirmLivelock(cands []int32, tries int) (*replay.LivelockCe
 			break
 		}
 		attempted++
-		wl, err := e.witnessLog(e.chain(id, nil))
+		moves, root := e.chain(id, nil)
+		wl, err := e.witnessLog(moves, root)
 		if err != nil {
 			return nil, nil, attempted, err
 		}

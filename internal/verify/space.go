@@ -8,6 +8,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/ioa"
 	"repro/internal/protocol"
+	"repro/internal/stabilize"
 )
 
 // This file is the configuration space of the bounded model checker: the
@@ -105,6 +106,16 @@ type config struct {
 	submitted int32
 	delivered int32
 	id        int32
+
+	// Stabilize-mode bookkeeping (zero and excluded from the key in clean
+	// mode): remaining is the seed's amnesty minus the faults charged so
+	// far (a negative balance is a divergence and is never visited),
+	// frontier the next submit position whose delivery is clean progress,
+	// and lost the bitmask of skipped positions that may still arrive late
+	// (see stabilize.Classify).
+	remaining int32
+	frontier  int32
+	lost      uint64
 }
 
 // clone deep-copies the configuration, rebinding the endpoints' genies to
@@ -118,6 +129,9 @@ func (c *config) clone() *config {
 		chAck:     c.chAck.Clone(),
 		submitted: c.submitted,
 		delivered: c.delivered,
+		remaining: c.remaining,
+		frontier:  c.frontier,
+		lost:      c.lost,
 	}
 	if u, ok := nc.t.(protocol.AckGenieUser); ok {
 		u.SetAckGenie(channel.ChannelGenie{Ch: nc.chAck})
@@ -128,8 +142,13 @@ func (c *config) clone() *config {
 	return nc
 }
 
-// key is the canonical configuration encoding the visited set dedups on.
-func (c *config) key() string {
+// key is the canonical configuration encoding the visited set dedups on. In
+// stabilize mode the amnesty bookkeeping joins the key: two occurrences of
+// the same joint configuration with different remaining budgets, frontiers
+// or lost sets have different judgeable futures, so merging them would be
+// unsound. Clean-mode keys are unchanged (space hashes stay comparable
+// across versions).
+func (c *config) key(stabilizeMode bool) string {
 	var b strings.Builder
 	b.WriteString(protocol.ControlKeyOf(c.t))
 	b.WriteByte('|')
@@ -142,6 +161,14 @@ func (c *config) key() string {
 	b.WriteString(strconv.Itoa(int(c.submitted)))
 	b.WriteByte('|')
 	b.WriteString(strconv.Itoa(int(c.delivered)))
+	if stabilizeMode {
+		b.WriteString("|g")
+		b.WriteString(strconv.Itoa(int(c.remaining)))
+		b.WriteString("|f")
+		b.WriteString(strconv.Itoa(int(c.frontier)))
+		b.WriteString("|l")
+		b.WriteString(strconv.FormatUint(c.lost, 16))
+	}
 	return b.String()
 }
 
@@ -153,9 +180,12 @@ type parentEdge struct {
 }
 
 // nodeCounts keeps the progress-relevant counters per node for the DL3
-// analysis (the full config is released once its BFS wave passes).
+// analysis (the full config is released once its BFS wave passes). frontier
+// is meaningful only in stabilize mode, where progress means frontier
+// advance rather than delivery count — corrupted runs also deliver garbage
+// and duplicates, which are not progress.
 type nodeCounts struct {
-	submitted, delivered int32
+	submitted, delivered, frontier int32
 }
 
 // edgeRec is one explored transition; progress marks delivery-count
@@ -165,8 +195,9 @@ type edgeRec struct {
 	progress bool
 }
 
-// foundViolation is an on-the-fly DL1 finding: the pre-state and the
-// delivering move that produced a payload out of correspondence.
+// foundViolation is an on-the-fly safety finding: the pre-state and the
+// delivering move that produced a payload out of correspondence (clean
+// mode) or over the amnesty budget (stabilize mode).
 type foundViolation struct {
 	parent int32
 	mv     move
@@ -185,37 +216,63 @@ type explorer struct {
 	nodes   []nodeCounts
 	edges   []edgeRec
 
+	// roots maps BFS root node ids to their corrupted seeds (stabilize
+	// mode only; nil otherwise — clean mode has the single root 0).
+	roots map[int32]stabilize.Corruption
+
 	violation *foundViolation
 	err       error
 }
 
 // visit dedups a successor, records the edge, and enqueues fresh nodes.
-func (e *explorer) visit(ns *config, from int32, mv move) {
+func (e *explorer) visit(ns *config, from int32, mv move) (int32, bool) {
 	if e.err != nil {
-		return
+		return -1, false
 	}
-	id, fresh, err := e.seen.insert(ns.key())
+	id, fresh, err := e.seen.insert(ns.key(e.cfg.Stabilize))
 	if err != nil {
 		e.err = err
-		return
+		return -1, false
 	}
 	if fresh {
 		ns.id = id
 		e.queue = append(e.queue, ns)
 		e.parents = append(e.parents, parentEdge{parent: from, mv: mv})
-		e.nodes = append(e.nodes, nodeCounts{submitted: ns.submitted, delivered: ns.delivered})
+		e.nodes = append(e.nodes, nodeCounts{submitted: ns.submitted, delivered: ns.delivered, frontier: ns.frontier})
 	}
 	if from >= 0 {
-		e.edges = append(e.edges, edgeRec{from: from, to: id, progress: ns.delivered > e.nodes[from].delivered})
+		progress := ns.delivered > e.nodes[from].delivered
+		if e.cfg.Stabilize {
+			progress = ns.frontier > e.nodes[from].frontier
+		}
+		e.edges = append(e.edges, edgeRec{from: from, to: id, progress: progress})
 	}
+	return id, fresh
 }
 
 // collect drains the receiver's freshly delivered payloads into the
-// configuration's counters, checking DL1 correspondence per delivery: the
-// i-th delivered payload must be payload(i) of a submitted message. It
-// reports whether the configuration is violation-free.
+// configuration's counters. In clean mode it checks DL1 correspondence per
+// delivery: the i-th delivered payload must be payload(i) of a submitted
+// message. In stabilize mode each delivery is instead classified by the
+// amnesty judge (stabilize.Classify) — progress, skip, late (DL2: FIFO
+// order broken on the fly), duplicate or garbage — and the faults are
+// charged against the seed's remaining budget; the violation fires only on
+// overdraft. It reports whether the configuration is violation-free.
 func (e *explorer) collect(ns *config, from int32, mv move) bool {
 	for _, p := range ns.r.TakeDelivered() {
+		if e.cfg.Stabilize {
+			kind, charge, nf, nl := stabilize.Classify(p, payload, int(ns.frontier), ns.lost, int(ns.submitted))
+			ns.frontier, ns.lost = int32(nf), nl
+			ns.remaining -= int32(charge)
+			if ns.remaining < 0 {
+				e.violation = &foundViolation{parent: from, mv: mv, detail: fmt.Sprintf(
+					"%s delivery of %q exceeds the corrupted start's amnesty (%s)",
+					kind, p, kind.Property())}
+				return false
+			}
+			ns.delivered++
+			continue
+		}
 		idx := int(ns.delivered)
 		switch {
 		case idx >= int(ns.submitted):

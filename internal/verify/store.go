@@ -53,11 +53,14 @@ func (s *memStore) close() error { return nil }
 
 // diskStore spills the key strings — the dominant memory cost of a large
 // exploration — to an append-only temp file, keeping only a 64-bit hash and
-// a file offset per visited configuration in memory. A hash hit is verified
-// by reading the stored key back before it counts as a revisit, so hash
-// collisions cost a read, never a wrong answer. Records are
-// uvarint-length-prefixed key bytes; all access is ReadAt/WriteAt, so no
-// buffering layer can serve stale data.
+// a file offset per visited configuration in memory (16 bytes per rec vs a
+// key that can run to kilobytes at high occupancy). The split is keys on
+// disk, ids in memory: dense ids never leave RAM, so the BFS frontier and
+// the parent chain stay pointer-free, while the only disk reads are
+// collision probes. A hash hit is verified by reading the stored key back
+// before it counts as a revisit, so hash collisions cost a read, never a
+// wrong answer. Records are uvarint-length-prefixed key bytes; all access
+// is ReadAt/WriteAt, so no buffering layer can serve stale data.
 type diskStore struct {
 	f      *os.File
 	off    int64
@@ -75,7 +78,13 @@ type diskRec struct {
 func newDiskStore(dir string) (*diskStore, error) {
 	f, err := os.CreateTemp(dir, "nfverify-visited-*.keys")
 	if err != nil {
-		return nil, fmt.Errorf("verify: spill store: %w", err)
+		// Name the directory: the default ("" → os.TempDir) and an explicit
+		// -spill dir fail the same way, and the operator needs to know which
+		// path to fix.
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		return nil, fmt.Errorf("verify: spill store: cannot create spill file in %q: %w", dir, err)
 	}
 	// The file is unlinked-on-close via close(); keep the name for Remove.
 	return &diskStore{f: f, byHash: make(map[uint64][]diskRec)}, nil

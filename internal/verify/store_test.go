@@ -2,6 +2,7 @@ package verify
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -41,6 +42,20 @@ func TestStoreEquivalence(t *testing.T) {
 	}
 	if mem.hash() != disk.hash() {
 		t.Fatalf("hash: mem %016x, disk %016x", mem.hash(), disk.hash())
+	}
+}
+
+// TestDiskStoreUnwritableDir: an unwritable spill directory must fail at
+// construction with an error that names the directory, not surface later as
+// a mid-exploration write failure.
+func TestDiskStoreUnwritableDir(t *testing.T) {
+	dir := t.TempDir() + "/missing"
+	_, err := newDiskStore(dir)
+	if err == nil {
+		t.Fatal("newDiskStore in a nonexistent directory succeeded")
+	}
+	if !strings.Contains(err.Error(), dir) {
+		t.Fatalf("error does not name the spill directory %q: %v", dir, err)
 	}
 }
 

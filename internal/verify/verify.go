@@ -42,6 +42,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/ioa"
 	"repro/internal/protocol"
+	"repro/internal/stabilize"
 	"repro/internal/trace"
 )
 
@@ -75,6 +76,17 @@ type Config struct {
 	// DL3Confirm caps how many stranded candidates are re-driven through
 	// the livelock certifier; <= 0 means 3.
 	DL3Confirm int
+	// Stabilize switches the run to self-stabilization mode: the BFS
+	// frontier is seeded with every bounded corrupted configuration the
+	// protocol declares (internal/stabilize), deliveries are judged by the
+	// amnesty classifier instead of the clean-start DL1 check, and PROVED
+	// means the protocol converges from every corrupted start within the
+	// bounds.
+	Stabilize bool
+	// MaxPoison caps the pre-loaded poison packets per channel in
+	// stabilize mode; <= 0 means 1. It never exceeds Occupancy (poison
+	// occupies the channel like any packet).
+	MaxPoison int
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +104,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DL3Confirm <= 0 {
 		c.DL3Confirm = 3
+	}
+	if c.MaxPoison <= 0 {
+		c.MaxPoison = 1
+	}
+	if c.MaxPoison > c.Occupancy {
+		c.MaxPoison = c.Occupancy
 	}
 	return c
 }
@@ -191,6 +209,17 @@ type Report struct {
 	Check    Check       `json:"check"`
 	Failures []string    `json:"failures,omitempty"`
 
+	// Stabilize-mode fields (zero unless Config.Stabilize): Seeds is the
+	// number of corrupted initial configurations the frontier was seeded
+	// with, MaxPoison the per-channel poison cap, Seed the corruption key
+	// of the diverging seed when VIOLATED, and DeclaredStabilizing the
+	// protocol's StabilizeStatus declaration (nil when it makes none).
+	Stabilize           bool   `json:"stabilize,omitempty"`
+	Seeds               int    `json:"seeds,omitempty"`
+	MaxPoison           int    `json:"maxPoison,omitempty"`
+	Seed                string `json:"seed,omitempty"`
+	DeclaredStabilizing *bool  `json:"declaredStabilizing,omitempty"`
+
 	// Witness is the replay-confirmed NFT counterexample (nil unless
 	// VIOLATED): a safety schedule for DL1, a pumped livelock certificate
 	// for DL3. It is excluded from the JSON artifact — the CLI writes it
@@ -215,18 +244,20 @@ func Run(p protocol.Protocol, cfg Config) (*Report, error) {
 	}
 
 	e := &explorer{cfg: cfg, proto: p}
+	if cfg.Stabilize {
+		if cfg.MaxMessages > stabilize.MaxLost {
+			return nil, fmt.Errorf("verify: stabilize mode tracks at most %d message positions, got MaxMessages=%d",
+				stabilize.MaxLost, cfg.MaxMessages)
+		}
+		e.roots = make(map[int32]stabilize.Corruption)
+		rep.Stabilize = true
+		rep.MaxPoison = cfg.MaxPoison
+	}
 
 	// The lazy-drop reduction is sound only when the endpoints cannot
 	// observe in-transit contents; genie users can (Stale snapshots), so
 	// the reduction is forced off for them.
-	init := &config{
-		chData: channel.NewNonFIFO(ioa.TtoR),
-		chAck:  channel.NewNonFIFO(ioa.RtoT),
-	}
-	init.t, init.r = p.New(
-		channel.ChannelGenie{Ch: init.chData},
-		channel.ChannelGenie{Ch: init.chAck},
-	)
+	init := newInit(p)
 	_, tGenie := init.t.(protocol.AckGenieUser)
 	_, rGenie := init.r.(protocol.DataGenieUser)
 	switch {
@@ -253,7 +284,27 @@ func Run(p protocol.Protocol, cfg Config) (*Report, error) {
 	}
 	defer func() { _ = e.seen.close() }()
 
-	e.visit(init, -1, move{})
+	if cfg.Stabilize {
+		// Seed the frontier with the full bounded corrupted space: every
+		// declared endpoint-state pair crossed with every poison multiset.
+		// Each seed is a BFS root carrying its own amnesty; subspaces that
+		// reconverge to identical joint configurations with identical
+		// bookkeeping dedup across seeds.
+		seeds := stabilize.Enumerate(p, cfg.MaxPoison)
+		rep.Seeds = len(seeds)
+		for _, seed := range seeds {
+			root, err := corruptInit(p, seed, cfg.Occupancy)
+			if err != nil {
+				return nil, err
+			}
+			id, fresh := e.visit(root, -1, move{})
+			if fresh {
+				e.roots[id] = seed
+			}
+		}
+	} else {
+		e.visit(init, -1, move{})
+	}
 	exhausted := true
 	for head := 0; head < len(e.queue); head++ {
 		if e.violation != nil || e.err != nil {
@@ -282,10 +333,17 @@ func Run(p protocol.Protocol, cfg Config) (*Report, error) {
 	switch {
 	case e.violation != nil:
 		rep.Verdict = VerdictViolated
-		wl, werr := e.witnessLog(e.chain(e.violation.parent, &e.violation.mv))
+		moves, root := e.chain(e.violation.parent, &e.violation.mv)
+		wl, werr := e.witnessLog(moves, root)
 		if werr == nil {
 			var v *ioa.Violation
-			wl, v, werr = confirmSafety(wl)
+			if cfg.Stabilize {
+				seed := e.roots[root]
+				rep.Seed = seed.Key()
+				wl, v, werr = confirmStabilize(wl, seed, cfg.Occupancy)
+			} else {
+				wl, v, werr = confirmSafety(wl)
+			}
 			if werr == nil {
 				rep.Witness = wl
 				rep.WitnessConfirmed = true
@@ -322,8 +380,59 @@ func Run(p protocol.Protocol, cfg Config) (*Report, error) {
 		rep.Verdict = VerdictBudget
 	}
 
-	judge(rep, p)
+	if cfg.Stabilize {
+		judgeStabilize(rep, p)
+	} else {
+		judge(rep, p)
+	}
 	return rep, nil
+}
+
+// newInit builds the clean initial configuration.
+func newInit(p protocol.Protocol) *config {
+	init := &config{
+		chData: channel.NewNonFIFO(ioa.TtoR),
+		chAck:  channel.NewNonFIFO(ioa.RtoT),
+	}
+	init.t, init.r = p.New(
+		channel.ChannelGenie{Ch: init.chData},
+		channel.ChannelGenie{Ch: init.chAck},
+	)
+	return init
+}
+
+// corruptInit builds the initial configuration for one corrupted seed:
+// declared endpoint states (genies rebound to the fresh channels) and the
+// poison packets pre-loaded in transit, with the seed's amnesty as the
+// remaining fault budget.
+func corruptInit(p protocol.Protocol, seed stabilize.Corruption, occupancy int) (*config, error) {
+	init := newInit(p)
+	if seed.TIdx != 0 || seed.RIdx != 0 {
+		cp, ok := p.(protocol.Corruptible)
+		if !ok {
+			return nil, fmt.Errorf("verify: seed %s for non-Corruptible protocol %s", seed, p.Name())
+		}
+		space := cp.Corruptions()
+		if seed.TIdx < 0 || seed.TIdx >= len(space.Transmitters) || seed.RIdx < 0 || seed.RIdx >= len(space.Receivers) {
+			return nil, fmt.Errorf("verify: seed %s out of range for protocol %s", seed, p.Name())
+		}
+		init.t = space.Transmitters[seed.TIdx].Clone()
+		init.r = space.Receivers[seed.RIdx].Clone()
+		if u, ok := init.t.(protocol.AckGenieUser); ok {
+			u.SetAckGenie(channel.ChannelGenie{Ch: init.chAck})
+		}
+		if u, ok := init.r.(protocol.DataGenieUser); ok {
+			u.SetDataGenie(channel.ChannelGenie{Ch: init.chData})
+		}
+	}
+	for _, pkt := range seed.Data {
+		init.chData.Send(pkt)
+	}
+	for _, pkt := range seed.Ack {
+		init.chAck.Send(pkt)
+	}
+	init.remaining = int32(stabilize.Amnesty(seed, occupancy))
+	return init, nil
 }
 
 func countOps(l *trace.Log) int {
@@ -383,12 +492,58 @@ func judge(rep *Report, p protocol.Protocol) {
 	}
 }
 
+// judgeStabilize fills in the Check for stabilize-mode runs by comparing
+// the verdict against the protocol's StabilizeStatus declaration: PROVED
+// certifies a declared self-stabilizing protocol, a confirmed divergence
+// certifies a declared non-stabilizing one, and the cross cases are
+// verifier-caught declaration bugs.
+func judgeStabilize(rep *Report, p protocol.Protocol) {
+	if rep.Verdict == VerdictViolated && !rep.WitnessConfirmed {
+		rep.Failures = append(rep.Failures,
+			"divergence explored but its witness failed replay confirmation (verifier/simulator drift)")
+		rep.Check = CheckFail
+		return
+	}
+	ss, ok := p.(protocol.StabilizeStatus)
+	if !ok {
+		rep.Check = CheckObserved
+		return
+	}
+	decl := ss.SelfStabilizing()
+	rep.DeclaredStabilizing = &decl
+	switch rep.Verdict {
+	case VerdictViolated:
+		if decl {
+			rep.Failures = append(rep.Failures, fmt.Sprintf(
+				"declared self-stabilizing but a replay-confirmed %s divergence is reachable from corrupted start %s",
+				rep.Property, rep.Seed))
+			rep.Check = CheckFail
+		} else {
+			rep.Check = CheckCertified
+		}
+	case VerdictProved:
+		if decl {
+			rep.Check = CheckCertified
+		} else {
+			rep.Failures = append(rep.Failures, fmt.Sprintf(
+				"declared non-stabilizing but every corrupted start up to occupancy %d, %d message(s), %d poison/channel converges within amnesty",
+				rep.Occupancy, rep.MaxMessages, rep.MaxPoison))
+			rep.Check = CheckFail
+		}
+	default: // BUDGET
+		rep.Check = CheckConsistent
+	}
+}
+
 // String renders the report in the fixed layout the golden tests pin down.
 func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "protocol:   %s\n", r.Protocol)
 	fmt.Fprintf(&b, "occupancy:  %d\n", r.Occupancy)
 	fmt.Fprintf(&b, "messages:   %d\n", r.MaxMessages)
+	if r.Stabilize {
+		fmt.Fprintf(&b, "stabilize:  %d corrupted seed(s), max poison %d/channel\n", r.Seeds, r.MaxPoison)
+	}
 	if r.POR {
 		fmt.Fprintf(&b, "por:        on (lazy drops)\n")
 	} else {
@@ -408,6 +563,9 @@ func (r *Report) String() string {
 	case VerdictViolated:
 		fmt.Fprintf(&b, "verdict:    VIOLATED (%s)\n", r.Property)
 		fmt.Fprintf(&b, "  detail:   %s\n", r.Detail)
+		if r.Seed != "" {
+			fmt.Fprintf(&b, "  seed:     %s\n", r.Seed)
+		}
 		if r.WitnessConfirmed {
 			fmt.Fprintf(&b, "witness:    %d ops, replay-confirmed\n", r.WitnessOps)
 		}
@@ -419,6 +577,15 @@ func (r *Report) String() string {
 			r.DL3Candidates, r.DL3Attempted)
 	}
 	switch {
+	case r.Stabilize:
+		switch {
+		case r.DeclaredStabilizing == nil:
+			fmt.Fprintf(&b, "declared:   (none)\n")
+		case *r.DeclaredStabilizing:
+			fmt.Fprintf(&b, "declared:   self-stabilizing\n")
+		default:
+			fmt.Fprintf(&b, "declared:   not self-stabilizing\n")
+		}
 	case r.Declared == nil:
 		fmt.Fprintf(&b, "declared:   (none)\n")
 	case r.Declared.Sound():

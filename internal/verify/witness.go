@@ -2,11 +2,13 @@ package verify
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/channel"
 	"repro/internal/ioa"
 	"repro/internal/replay"
 	"repro/internal/sim"
+	"repro/internal/stabilize"
 	"repro/internal/trace"
 )
 
@@ -21,22 +23,28 @@ import (
 // here would expose semantic drift between verifier and simulator rather
 // than slip through as a wrong verdict.
 
-// chain reconstructs the move path from the initial configuration to id by
-// walking the parent edges, optionally appending a final (not-visited) move
-// such as the violating delivery.
-func (e *explorer) chain(id int32, last *move) []move {
+// chain reconstructs the move path from its BFS root to id by walking the
+// parent edges, optionally appending a final (not-visited) move such as the
+// violating delivery. It returns the path and the root's node id: clean
+// mode has the single root 0, but stabilize mode seeds one root per
+// corrupted configuration, and the walk must stop at whichever root the
+// path descends from (a root's parent edge is -1 and its move is empty —
+// following it would fabricate an unknown move).
+func (e *explorer) chain(id int32, last *move) ([]move, int32) {
 	var rev []move
 	if last != nil {
 		rev = append(rev, *last)
 	}
-	for cur := id; cur > 0; cur = e.parents[cur].parent {
+	cur := id
+	for cur >= 0 && e.parents[cur].parent >= 0 {
 		rev = append(rev, e.parents[cur].mv)
+		cur = e.parents[cur].parent
 	}
 	out := make([]move, 0, len(rev))
 	for i := len(rev) - 1; i >= 0; i-- {
 		out = append(out, rev[i])
 	}
-	return out
+	return out, cur
 }
 
 // witnessLog re-drives the move path through a fresh runner and returns the
@@ -44,8 +52,11 @@ func (e *explorer) chain(id int32, last *move) []move {
 // the path encodes (Delay below cap, Drop at cap); the ack policy is the
 // live drop-at-cap closure the explorer's drain uses, evaluated against the
 // runner's own channel. Channel-policy decisions are captured into the log
-// by the runner, which is what makes the schedule self-contained.
-func (e *explorer) witnessLog(moves []move) (*trace.Log, error) {
+// by the runner, which is what makes the schedule self-contained. In
+// stabilize mode the root's corruption is applied first, so the schedule
+// opens with the replayable corrupt/poison operations and the witness is a
+// complete corrupted-start scenario.
+func (e *explorer) witnessLog(moves []move, root int32) (*trace.Log, error) {
 	var dataDecisions []channel.Decision
 	for _, m := range moves {
 		switch m.kind {
@@ -76,6 +87,11 @@ func (e *explorer) witnessLog(moves []move) (*trace.Log, error) {
 		}),
 		TraceLog: wl,
 	})
+	if seed, ok := e.roots[root]; ok && !seed.Clean() {
+		if err := stabilize.Apply(run, seed); err != nil {
+			return nil, fmt.Errorf("verify: witness re-drive: applying corrupted start %s: %v", seed, err)
+		}
+	}
 	for i, m := range moves {
 		var err error
 		switch m.kind {
@@ -121,4 +137,34 @@ func confirmSafety(wl *trace.Log) (*trace.Log, *ioa.Violation, error) {
 		return nil, nil, fmt.Errorf("verify: witness replayed safety-clean; the explored violation did not reproduce")
 	}
 	return rr.Log, rr.Verdict, nil
+}
+
+// confirmStabilize replays a corrupted-start witness schedule and demands a
+// divergence-free reproduction that the amnesty judge — re-run from scratch
+// on the replayed trace — still finds over budget. The clean-start checkers
+// are the wrong referee here (a within-amnesty garbage delivery already
+// fails them), so the replayed trace is re-judged by stabilize.JudgeTrace
+// with the seed's amnesty instead. The returned log carries the replay's
+// own verdict event, so the witness file replays with a matching verdict
+// under `nfvet replay`; the stabilize-level finding rides in the metadata.
+func confirmStabilize(wl *trace.Log, seed stabilize.Corruption, occupancy int) (*trace.Log, *ioa.Violation, error) {
+	rr, err := replay.Run(wl)
+	if err != nil {
+		return nil, nil, fmt.Errorf("verify: witness replay: %w", err)
+	}
+	if rr.Divergence != nil {
+		return nil, nil, fmt.Errorf("verify: witness diverged on replay (verifier/simulator drift): %v", rr.Divergence)
+	}
+	amnesty := stabilize.Amnesty(seed, occupancy)
+	j := stabilize.JudgeTrace(rr.Trace, amnesty)
+	if j.Violation == nil {
+		return nil, nil, fmt.Errorf("verify: witness replayed within amnesty %d (%d fault(s)); the explored divergence did not reproduce",
+			amnesty, j.Charges)
+	}
+	l := rr.Log
+	l.SetMeta(trace.MetaSource, "verify-stabilize")
+	l.SetMeta(stabilize.MetaCorruption, seed.Key())
+	l.SetMeta(stabilize.MetaAmnesty, strconv.Itoa(amnesty))
+	l.SetMeta(stabilize.MetaStabilize, "diverged "+j.Violation.Property)
+	return l, j.Violation, nil
 }

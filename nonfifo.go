@@ -31,7 +31,13 @@
 //   - a bounded reachability prover (Verify, `nfvet verify`) that either
 //     PROVES DL-safety up to an occupancy cap and message bound — emitting
 //     a machine-readable proof artifact — or produces a replay-confirmed
-//     NFT counterexample; and
+//     NFT counterexample;
+//   - a self-stabilization subsystem (CheckConvergence, StabilizeSweep,
+//     `nfvet stabilize`, `nfvet verify -stabilize`, `nffuzz -corrupt`) that
+//     drops the paper's clean-start assumption: corrupted initial
+//     configurations are enumerated, fuzzed, and exhaustively explored,
+//     and convergence back to DL1–DL3 within a finite fault amnesty is
+//     proved or refuted with replayable witnesses; and
 //   - the experiment suite E0–E9 that reproduces each theorem's predicted
 //     shape (see DESIGN.md and EXPERIMENTS.md).
 //
@@ -62,6 +68,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/replay"
 	"repro/internal/sim"
+	"repro/internal/stabilize"
 	"repro/internal/trace"
 	"repro/internal/verify"
 )
@@ -180,6 +187,22 @@ func CntNoBind() Protocol { return protocol.NewCntNoBind() }
 // Livelock returns a deliberately broken protocol used to demonstrate the
 // pumping detector (Theorem 2.1's mechanism).
 func Livelock() Protocol { return protocol.NewLivelock() }
+
+// StabDL returns the self-stabilizing counting protocol: c+1 consecutive
+// copies of the same payload are required before adoption, which lets it
+// recover DL1–DL3 from every bounded corrupted start (see internal/stabilize
+// and `nfvet verify -stabilize`).
+func StabDL(c int) Protocol { return protocol.NewStabDL(c) }
+
+// StabNaive returns the round-counting control specimen: clean-start
+// correct but not self-stabilizing — corrupted starts drive it past its
+// amnesty or into a certified livelock.
+func StabNaive() Protocol { return protocol.NewStabNaive() }
+
+// Arrival returns the arrival-order delivery specimen: it delivers in
+// arrival order, so a corrupted start costs it DL2 (FIFO order), the
+// property the amnesty judge charges late arrivals against.
+func Arrival() Protocol { return protocol.NewArrival() }
 
 // Protocols returns the built-in protocol registry keyed by name.
 func Protocols() map[string]Protocol { return protocol.Registry() }
@@ -458,4 +481,53 @@ type (
 // bounds or emits a counterexample schedule that has been re-driven through
 // the simulator and re-judged by the replay checkers. A zero-valued cfg
 // uses the defaults (occupancy 2, 3 messages, 1<<18-state budget).
+// Set VerifyConfig.Stabilize to seed the exploration with every bounded
+// corrupted start: PROVED then means the protocol self-stabilizes within
+// the bounds.
 func Verify(p Protocol, cfg VerifyConfig) (*VerifyReport, error) { return verify.Run(p, cfg) }
+
+// Self-stabilization (see internal/stabilize, `nfvet stabilize`,
+// `nfvet verify -stabilize`, and `nffuzz -corrupt`). The paper's theorems
+// assume clean starts; the stabilization subsystem drops that assumption:
+// the adversary also picks the initial configuration, and a protocol
+// self-stabilizes when every bounded corrupted start converges back to
+// DL1–DL3 within its amnesty (finitely many bought faults).
+type (
+	// Corruption is one corrupted initial configuration: endpoint start
+	// states by index into the protocol's declared corruption space plus
+	// poison packets pre-loaded per channel.
+	Corruption = stabilize.Corruption
+	// StabilizeConfig tunes one convergence check.
+	StabilizeConfig = stabilize.Config
+	// StabilizeReport is the outcome of checking one corrupted start.
+	StabilizeReport = stabilize.Report
+	// StabilizeSweepReport aggregates a whole corruption space's checks
+	// against the protocol's StabilizeStatus declaration.
+	StabilizeSweepReport = stabilize.SweepReport
+	// CorruptionSpace declares a protocol's bounded corrupted starts.
+	CorruptionSpace = protocol.CorruptionSpace
+)
+
+// EnumerateCorruptions lists the protocol's bounded corrupted starts: every
+// declared endpoint-state pair crossed with every poison multiset of up to
+// maxPoison packets per channel. Element 0 is the clean start.
+func EnumerateCorruptions(p Protocol, maxPoison int) []Corruption {
+	return stabilize.Enumerate(p, maxPoison)
+}
+
+// Amnesty returns the corruption's fault budget: the number of incorrect
+// deliveries it is entitled to cause before the run counts as divergent.
+func Amnesty(c Corruption, occupancy int) int { return stabilize.Amnesty(c, occupancy) }
+
+// CheckConvergence drives one corrupted start to quiescence under reliable
+// channels and judges it with the amnesty judge, certifying non-convergence
+// as a replay-confirmed over-amnesty witness or a pumped livelock.
+func CheckConvergence(p Protocol, c Corruption, cfg StabilizeConfig) (*StabilizeReport, error) {
+	return stabilize.CheckConvergence(p, c, cfg)
+}
+
+// StabilizeSweep checks every corruption in the protocol's bounded space and
+// aggregates the outcome against its StabilizeStatus declaration.
+func StabilizeSweep(p Protocol, cfg StabilizeConfig, maxPoison int) (*StabilizeSweepReport, error) {
+	return stabilize.Sweep(p, cfg, maxPoison)
+}
