@@ -9,6 +9,12 @@
 //   - fuzz: coverage-guided schedule fuzzing (internal/fuzz), reported as
 //     input executions per second on the altbit specimen.
 //
+// Both engines carry their legacy string-keyed reference implementation
+// behind a flag, and the artifact records A/B rows on identical work —
+// verify/cntexp vs verify/cntexp-stringkeys, fuzzexec/altbit-interned vs
+// fuzzexec/altbit-string — so the interning speedup ratios are read
+// directly off one run.
+//
 // The engines themselves are clock-free (the wallclock lint bans ambient
 // time reads in internal/verify and internal/fuzz); all timing lives here
 // in the command, wrapped around deterministic runs. The workloads are
@@ -24,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"runtime"
 	"time"
@@ -87,6 +94,14 @@ func run(args []string, out, errw io.Writer) int {
 		func() (Benchmark, error) {
 			return benchVerify("cntexp", "verify/cntexp", verify.Config{MaxStates: *verifyBudgt})
 		},
+		// The same budget-bounded workload through the legacy string-keyed
+		// visited set: the cntexp/cntexp-stringkeys ratio is the verifier's
+		// interning win, measured on identical work (the two stores explore
+		// the same configurations and agree on the space hash).
+		func() (Benchmark, error) {
+			return benchVerify("cntexp", "verify/cntexp-stringkeys",
+				verify.Config{MaxStates: *verifyBudgt, StringKeys: true})
+		},
 		// The stabilize workload is the 81-root corrupted-start proof of
 		// stabdl2 — the multi-root regime, dominated by the widened
 		// amnesty-carrying configuration keys.
@@ -94,6 +109,12 @@ func run(args []string, out, errw io.Writer) int {
 			return benchVerify("stabdl2", "verify/stabdl2-stabilize", verify.Config{Stabilize: true})
 		},
 		func() (Benchmark, error) { return benchFuzz("altbit", *fuzzBudget) },
+		// Pure execution, no campaign machinery: the same fixed corpus
+		// replayed through the string-keyed reference executor and the
+		// interned core. The interned/string rate ratio is the executor's
+		// interning win.
+		func() (Benchmark, error) { return benchExec("altbit", *fuzzBudget, false) },
+		func() (Benchmark, error) { return benchExec("altbit", *fuzzBudget, true) },
 	}
 	for _, step := range steps {
 		b, err := step()
@@ -168,6 +189,49 @@ func benchFuzz(name string, budget int64) (Benchmark, error) {
 		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
 		Rate:      rate(res.Execs, elapsed),
 		Detail:    fmt.Sprintf("corpus=%d violations=%d", res.CorpusSize, len(res.Violations)),
+	}, nil
+}
+
+// benchExec times pure input execution — no mutation, scheduling or
+// coverage merging — over a fixed deterministic corpus: the canonical seeds
+// grown to 64 schedules by seeded mutation, the same construction
+// internal/fuzz's BenchmarkExecute uses. Each corpus input is executed
+// round-robin until budget executions have run, through either the
+// string-keyed reference executor (interned=false) or the pooled interned
+// core (interned=true).
+func benchExec(name string, budget int64, interned bool) (Benchmark, error) {
+	p, err := replay.LookupProtocol(name)
+	if err != nil {
+		return Benchmark{}, err
+	}
+	//nfvet:allow globalrand (the corpus must be identical on every machine: the artifact compares rates on fixed work)
+	rng := rand.New(rand.NewSource(1))
+	corpus := fuzz.SeedInputs()
+	for len(corpus) < 64 {
+		corpus = append(corpus, fuzz.Mutate(corpus[rng.Intn(len(corpus))], rng))
+	}
+	display := "fuzzexec/" + name + "-string"
+	core := fuzz.NewCore(p)
+	start := time.Now()
+	for i := int64(0); i < budget; i++ {
+		in := corpus[i%int64(len(corpus))]
+		if interned {
+			core.Execute(in, false)
+		} else {
+			fuzz.Execute(p, in, false)
+		}
+	}
+	elapsed := time.Since(start)
+	if interned {
+		display = "fuzzexec/" + name + "-interned"
+	}
+	return Benchmark{
+		Name:      display,
+		Metric:    "execs",
+		Work:      budget,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+		Rate:      rate(budget, elapsed),
+		Detail:    fmt.Sprintf("corpus=%d", len(corpus)),
 	}, nil
 }
 

@@ -10,8 +10,9 @@ import (
 )
 
 // TestRunWritesArtifact drives the command with tiny budgets and checks the
-// JSON artifact's shape: all four workloads present, positive work and
-// rates, and the label threaded through.
+// JSON artifact's shape: all seven workloads present (including the
+// interned-vs-string A/B rows), positive work and rates, and the label
+// threaded through.
 func TestRunWritesArtifact(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	var out, errw bytes.Buffer
@@ -33,7 +34,11 @@ func TestRunWritesArtifact(t *testing.T) {
 	if art.Label != "unit" || art.GoVersion == "" {
 		t.Errorf("artifact header = %+v", art)
 	}
-	want := []string{"verify/seqnum", "verify/cntexp", "verify/stabdl2-stabilize", "fuzz/altbit"}
+	want := []string{
+		"verify/seqnum", "verify/cntexp", "verify/cntexp-stringkeys",
+		"verify/stabdl2-stabilize", "fuzz/altbit",
+		"fuzzexec/altbit-string", "fuzzexec/altbit-interned",
+	}
 	if len(art.Benchmarks) != len(want) {
 		t.Fatalf("got %d benchmarks, want %d", len(art.Benchmarks), len(want))
 	}

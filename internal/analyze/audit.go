@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/channel"
+	"repro/internal/intern"
 	"repro/internal/ioa"
 	"repro/internal/protocol"
 )
@@ -143,36 +144,47 @@ func (s *auditState) clone() *auditState {
 	return ns
 }
 
-func (s *auditState) key() string {
-	var b strings.Builder
-	b.WriteString(protocol.ControlKeyOf(s.t))
-	b.WriteByte('|')
-	b.WriteString(protocol.ControlKeyOf(s.r))
-	b.WriteByte('|')
-	b.WriteString(s.chData.Key())
-	b.WriteByte('|')
-	b.WriteString(s.chAck.Key())
-	return b.String()
+// auditKey is the packed joint-configuration key the enumeration dedups
+// on: the two control keys and two channel keys interned to dense ids.
+// Component-wise interned equality is exactly component-wise string
+// equality (interning is injective), so the quotient is the same one the
+// concatenated string key used to induce — at a 16-byte comparable probe
+// instead of a fresh string build per visit.
+type auditKey struct {
+	tc, rc, dk, ak uint32
 }
 
 // auditor carries the enumeration's accumulators.
 type auditor struct {
 	cfg     AuditConfig
-	seen    map[string]struct{}
+	tab     *intern.Local
+	kbuf    []byte
+	seen    map[auditKey]struct{}
 	queue   []*auditState
-	kt, kr  map[string]struct{}
+	kt, kr  map[uint32]struct{}
 	headers map[string]struct{}
 }
 
 // visit records a configuration and enqueues it if new.
 func (a *auditor) visit(s *auditState) {
-	k := s.key()
+	b := protocol.AppendControlKeyOf(a.kbuf[:0], s.t)
+	k := auditKey{tc: a.tab.InternBytes(b)}
+	m := len(b)
+	b = protocol.AppendControlKeyOf(b, s.r)
+	k.rc = a.tab.InternBytes(b[m:])
+	m = len(b)
+	b = s.chData.AppendKey(b)
+	k.dk = a.tab.InternBytes(b[m:])
+	m = len(b)
+	b = s.chAck.AppendKey(b)
+	k.ak = a.tab.InternBytes(b[m:])
+	a.kbuf = b
 	if _, ok := a.seen[k]; ok {
 		return
 	}
 	a.seen[k] = struct{}{}
-	a.kt[protocol.ControlKeyOf(s.t)] = struct{}{}
-	a.kr[protocol.ControlKeyOf(s.r)] = struct{}{}
+	a.kt[k.tc] = struct{}{}
+	a.kr[k.rc] = struct{}{}
 	a.queue = append(a.queue, s)
 }
 
@@ -255,9 +267,10 @@ func Audit(p protocol.Protocol, cfg AuditConfig) *AuditReport {
 	cfg = cfg.withDefaults()
 	a := &auditor{
 		cfg:     cfg,
-		seen:    make(map[string]struct{}),
-		kt:      make(map[string]struct{}),
-		kr:      make(map[string]struct{}),
+		tab:     intern.NewLocal(),
+		seen:    make(map[auditKey]struct{}),
+		kt:      make(map[uint32]struct{}),
+		kr:      make(map[uint32]struct{}),
 		headers: make(map[string]struct{}),
 	}
 

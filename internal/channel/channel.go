@@ -50,6 +50,27 @@ func (c *NonFIFO) Send(p ioa.Packet) {
 	c.sent++
 }
 
+// SendDelivered records a send_pkt immediately followed by the receive_pkt
+// of the same copy: the add-then-remove on the in-transit multiset is the
+// identity, so the fused form only bumps the counters. The exploration
+// engines use it for the DeliverNow policy branch, which is the single
+// hottest channel operation (the optimal behaviour delivers everything
+// immediately), and it makes the multiset churn of that branch zero.
+func (c *NonFIFO) SendDelivered(p ioa.Packet) {
+	_ = p // the copy never rests in transit; p is identified by value only
+	c.sent++
+	c.recvd++
+}
+
+// SendDropped records a send_pkt whose copy is immediately discarded: the
+// fused form of Send followed by Drop, again the identity on the in-transit
+// multiset.
+func (c *NonFIFO) SendDropped(p ioa.Packet) {
+	_ = p
+	c.sent++
+	c.dropped++
+}
+
 // Deliver removes one in-transit copy of p, modelling a receive_pkt action.
 // It returns an error if no copy of p is in transit — attempting such a
 // delivery would violate PL1, so the channel refuses it.
@@ -95,6 +116,14 @@ func (c *NonFIFO) CountHeader(h string) int {
 // order.
 func (c *NonFIFO) Packets() []ioa.Packet { return c.transit.Values() }
 
+// PacketAt returns the i-th distinct in-transit packet value in the same
+// deterministic order as Packets, without materialising the slice; i must
+// be below DistinctPackets.
+func (c *NonFIFO) PacketAt(i int) ioa.Packet { return c.transit.At(i) }
+
+// DistinctPackets reports the number of distinct in-transit packet values.
+func (c *NonFIFO) DistinctPackets() int { return c.transit.Distinct() }
+
 // Transit returns a deep copy of the in-transit multiset.
 func (c *NonFIFO) Transit() *mset.Multiset[ioa.Packet] { return c.transit.Clone() }
 
@@ -119,9 +148,51 @@ func (c *NonFIFO) Clone() *NonFIFO {
 	}
 }
 
+// CloneInto overwrites dst with a deep copy of c, reusing dst's multiset
+// backing array. dst must come from NewNonFIFO (its transit must be
+// non-nil).
+func (c *NonFIFO) CloneInto(dst *NonFIFO) {
+	dst.dir = c.dir
+	c.transit.CloneInto(dst.transit)
+	dst.sent = c.sent
+	dst.recvd = c.recvd
+	dst.dropped = c.dropped
+}
+
+// Reset empties the channel and zeroes its counters, keeping the multiset
+// backing array for reuse.
+func (c *NonFIFO) Reset(dir ioa.Dir) {
+	c.dir = dir
+	c.transit.Reset()
+	c.sent = 0
+	c.recvd = 0
+	c.dropped = 0
+}
+
 // Key returns a canonical encoding of the in-transit contents, used as a
 // memoization key by adversary searches.
 func (c *NonFIFO) Key() string { return c.transit.Key() }
+
+// AppendKey appends the canonical encoding (identical to Key) to dst
+// without allocating: packets are rendered by AppendPacket into the
+// caller's scratch buffer.
+func (c *NonFIFO) AppendKey(dst []byte) []byte {
+	return c.transit.AppendKey(dst, AppendPacket)
+}
+
+// AppendPacket appends ioa.Packet's String rendering ("header" or
+// "header[payload]") to dst. It must stay byte-identical to Packet.String:
+// the interned exploration cores build channel keys through it, and the
+// differential harness holds them equal to the fmt-rendered string path.
+func AppendPacket(dst []byte, p ioa.Packet) []byte {
+	dst = append(dst, p.Header...)
+	if p.Payload != "" {
+		dst = append(dst, '[')
+		dst = append(dst, p.Payload...)
+		dst = append(dst, ']')
+	}
+	return dst
+}
 
 // Decision is a policy's verdict on a freshly sent packet.
 type Decision int

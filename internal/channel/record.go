@@ -75,3 +75,32 @@ func RecordedProbabilistic(q float64, rng *rand.Rand, sink trace.Sink) Policy {
 		return DeliverNow
 	})
 }
+
+// DecisionReplayer is a reusable, allocation-free equivalent of
+// Counting(FromDecisions(dec, fallback, nil), n): it replays a recorded
+// decision stream with a fallback once exhausted, counting consultations.
+// The interned fuzz core binds one per channel per execution instead of
+// building the four-closure tower anew; Bind rewinds it.
+type DecisionReplayer struct {
+	dec      []trace.Decision
+	fallback Decision
+	n        *int
+	i        int
+}
+
+// Bind points the replayer at a new decision stream and consultation
+// counter and rewinds it.
+func (d *DecisionReplayer) Bind(dec []trace.Decision, fallback Decision, n *int) {
+	d.dec, d.fallback, d.n, d.i = dec, fallback, n, 0
+}
+
+// OnSend implements Policy.
+func (d *DecisionReplayer) OnSend(ioa.Packet) Decision {
+	*d.n++
+	if d.i < len(d.dec) {
+		v := Decision(d.dec[d.i])
+		d.i++
+		return v
+	}
+	return d.fallback
+}

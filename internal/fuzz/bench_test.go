@@ -2,6 +2,7 @@ package fuzz
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"testing"
 
@@ -36,4 +37,40 @@ func BenchmarkFuzzThroughput(b *testing.B) {
 			b.ReportMetric(float64(res.Execs)/b.Elapsed().Seconds(), "execs/sec")
 		})
 	}
+}
+
+// benchCorpus grows a fixed deterministic schedule corpus: the canonical
+// seeds plus mutation chains, the same construction nfbench uses for its
+// pure-execution rows.
+func benchCorpus(n int) []*Input {
+	rng := rand.New(rand.NewSource(1))
+	ins := SeedInputs()
+	for len(ins) < n {
+		ins = append(ins, Mutate(ins[rng.Intn(len(ins))], rng))
+	}
+	return ins
+}
+
+// BenchmarkExecute is the regression guard for the interned core: the
+// string-keyed reference executor versus Core.Execute over the identical
+// 64-input corpus. The interned/string ns-per-op ratio is the PR's headline
+// claim; a future change that narrows it shows up here before it ships.
+func BenchmarkExecute(b *testing.B) {
+	corpus := benchCorpus(64)
+	p := protocol.NewAltBit()
+	b.Run("string", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if r := Execute(p, corpus[i%len(corpus)], false); r == nil {
+				b.Fatal("nil result")
+			}
+		}
+	})
+	b.Run("interned", func(b *testing.B) {
+		c := NewCore(p)
+		for i := 0; i < b.N; i++ {
+			if r := c.Execute(corpus[i%len(corpus)], false); r == nil {
+				b.Fatal("nil result")
+			}
+		}
+	})
 }

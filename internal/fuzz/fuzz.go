@@ -48,6 +48,12 @@ type Config struct {
 	// the corruption's amnesty. Off by default — enabling it changes the
 	// campaign's RNG trajectory relative to a clean run with the same seed.
 	Corrupt bool
+	// StringCore forces the legacy string-keyed executor (Execute) instead of
+	// the interned Core. The two are phenotype-identical — same coverage
+	// points, verdicts and certificates, so the campaign trajectory does not
+	// depend on the flag — and the differential harness (internal/simdiff)
+	// and the A/B benchmark rows exist to keep it that way.
+	StringCore bool
 	// Stats, when non-nil, receives a progress line every StatsEvery
 	// (default 1s).
 	Stats      io.Writer
@@ -128,6 +134,7 @@ type Result struct {
 // campaign is the merger-side state shared by the serial and parallel paths.
 type campaign struct {
 	cfg    Config
+	exec   func(in *Input, withLog bool) *ExecResult // merger-side executor
 	master coverSet
 	corpus []*Entry
 	wins   map[string]*Violation // property → smallest certificate
@@ -152,6 +159,7 @@ func Run(cfg Config) (*Result, error) {
 		wins:   make(map[string]*Violation),
 		start:  cfg.Clock(),
 	}
+	c.exec = c.newExec()
 
 	// Seed the corpus: canonical starting schedules plus any persisted
 	// entries from a previous run. Every initial input is executed (and
@@ -169,7 +177,7 @@ func Run(cfg Config) (*Result, error) {
 		if c.execs.Load() >= cfg.Budget {
 			break
 		}
-		res := Execute(cfg.Protocol, in, false)
+		res := c.exec(in, false)
 		c.execs.Add(1)
 		c.observe(in, res, true)
 		if c.stop.Load() {
@@ -185,6 +193,19 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	return c.result(), nil
+}
+
+// newExec builds an executor closure for one goroutine: the string reference
+// Execute under Config.StringCore, otherwise a fresh interned Core. Cores are
+// not safe for concurrent use, so each worker calls newExec itself; the
+// campaign's own c.exec serves the seeding loop, the serial loop and the
+// merger-side promotions, which all run on one goroutine.
+func (c *campaign) newExec() func(in *Input, withLog bool) *ExecResult {
+	if c.cfg.StringCore {
+		proto := c.cfg.Protocol
+		return func(in *Input, withLog bool) *ExecResult { return Execute(proto, in, withLog) }
+	}
+	return NewCore(c.cfg.Protocol).Execute
 }
 
 // observe merges one execution into the campaign: coverage admission and
@@ -225,7 +246,7 @@ func (c *campaign) promote(in *Input, res *ExecResult) {
 		c.promoteCorrupt(in)
 		return
 	}
-	logged := Execute(c.cfg.Protocol, in, true)
+	logged := c.exec(in, true)
 	if logged.Verdict == nil {
 		// Unreachable: execution is deterministic.
 		return
@@ -278,7 +299,7 @@ func (c *campaign) promote(in *Input, res *ExecResult) {
 // the replayable corrupt/poison operations and carries the amnesty-level
 // verdict in its metadata, exactly like `nfvet verify -stabilize` witnesses.
 func (c *campaign) promoteCorrupt(in *Input) {
-	logged := Execute(c.cfg.Protocol, in, true)
+	logged := c.exec(in, true)
 	if logged.Verdict == nil {
 		// Unreachable: execution is deterministic.
 		return
@@ -348,7 +369,7 @@ func (c *campaign) promoteCorrupt(in *Input) {
 // pumping-lemma certifier (which verifies its own cycle by replay), and the
 // *pumped* certificate is what gets recorded and written out.
 func (c *campaign) promoteLivelock(in *Input) {
-	logged := Execute(c.cfg.Protocol, in, true)
+	logged := c.exec(in, true)
 	if logged.Verdict != nil || logged.DL3 == nil {
 		// Unreachable: execution is deterministic.
 		return
@@ -448,7 +469,7 @@ func (c *campaign) serial() {
 	rng := rand.New(rand.NewSource(core.SplitSeed(c.cfg.Seed, "fuzz-worker-0")))
 	for c.execs.Load() < c.cfg.Budget && !c.stop.Load() {
 		cand := nextCandidate(c.corpus, rng, c.cfg.Corrupt)
-		res := Execute(c.cfg.Protocol, cand, false)
+		res := c.exec(cand, false)
 		c.execs.Add(1)
 		c.observe(cand, res, true)
 	}
@@ -480,13 +501,14 @@ func (c *campaign) parallel() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(core.SplitSeed(c.cfg.Seed, "fuzz-worker-"+strconv.Itoa(id))))
 			local := make(coverSet)
+			exec := c.newExec() // per-worker: cores are single-goroutine
 			for !c.stop.Load() {
 				if c.execs.Add(1) > c.cfg.Budget {
 					c.execs.Add(-1)
 					return
 				}
 				cand := nextCandidate(snap.Load().corpus, rng, c.cfg.Corrupt)
-				res := Execute(c.cfg.Protocol, cand, false)
+				res := exec(cand, false)
 				if res.DL3 != nil {
 					c.dl3Misses.Add(1)
 				}

@@ -25,6 +25,10 @@ func (r *Recorder) SendPkt(d Dir, p Packet) { r.Append(Event{Kind: SendPkt, Dir:
 // ReceivePkt records a receive_pkt action on channel d.
 func (r *Recorder) ReceivePkt(d Dir, p Packet) { r.Append(Event{Kind: ReceivePkt, Dir: d, Pkt: p}) }
 
+// Reset empties the recorder, keeping the backing array for reuse by
+// pooled runners. Safe because Trace/Since return copies.
+func (r *Recorder) Reset() { r.trace = r.trace[:0] }
+
 // Len reports the current trace length. Use it as a mark for Rollback.
 func (r *Recorder) Len() int { return len(r.trace) }
 

@@ -11,30 +11,38 @@
 // fixed by the comparison function supplied at construction. Determinism
 // matters because the adversary constructions in internal/adversary perform
 // exhaustive searches over channel behaviours and must be reproducible.
+//
+// Representation: a sorted association slice of (value, count) entries. The
+// exploration engines clone channel multisets once per explored
+// configuration, and a slice clone is one memcpy with no per-element map
+// rehash — CloneInto recycles a previous clone's backing array outright.
+// The comparison function must be a strict total order on the values
+// actually stored (ties between distinct values would make the canonical
+// Key ambiguous, which the engines rely on for state identity).
 package mset
 
 import (
 	"fmt"
-	"sort"
-	"strings"
+	"strconv"
 )
+
+type entry[T comparable] struct {
+	v T
+	n int
+}
 
 // Multiset is a counted multiset over a comparable element type T.
 // The zero value is not usable; construct with New.
 type Multiset[T comparable] struct {
-	counts map[T]int
-	keys   []T // sorted by less; contains exactly the keys with count > 0
-	less   func(a, b T) bool
-	size   int
+	ents []entry[T]
+	less func(a, b T) bool
+	size int
 }
 
 // New returns an empty multiset whose deterministic iteration order is
-// defined by less, a strict weak ordering on T.
+// defined by less, a strict total order on T.
 func New[T comparable](less func(a, b T) bool) *Multiset[T] {
-	return &Multiset[T]{
-		counts: make(map[T]int),
-		less:   less,
-	}
+	return &Multiset[T]{less: less}
 }
 
 // Add inserts n copies of v. n must be non-negative; Add panics on negative
@@ -47,10 +55,14 @@ func (m *Multiset[T]) Add(v T, n int) {
 	if n == 0 {
 		return
 	}
-	if m.counts[v] == 0 {
-		m.insertKey(v)
+	i := m.search(v)
+	if i < len(m.ents) && m.ents[i].v == v {
+		m.ents[i].n += n
+	} else {
+		m.ents = append(m.ents, entry[T]{})
+		copy(m.ents[i+1:], m.ents[i:])
+		m.ents[i] = entry[T]{v: v, n: n}
 	}
-	m.counts[v] += n
 	m.size += n
 }
 
@@ -60,7 +72,11 @@ func (m *Multiset[T]) Remove(v T, n int) error {
 	if n < 0 {
 		return fmt.Errorf("mset: Remove with negative count %d", n)
 	}
-	have := m.counts[v]
+	i := m.search(v)
+	have := 0
+	if i < len(m.ents) && m.ents[i].v == v {
+		have = m.ents[i].n
+	}
 	if have < n {
 		return fmt.Errorf("mset: Remove %d copies of %v, only %d present", n, v, have)
 	}
@@ -68,64 +84,81 @@ func (m *Multiset[T]) Remove(v T, n int) error {
 		return nil
 	}
 	if have == n {
-		delete(m.counts, v)
-		m.deleteKey(v)
+		m.ents = append(m.ents[:i], m.ents[i+1:]...)
 	} else {
-		m.counts[v] = have - n
+		m.ents[i].n = have - n
 	}
 	m.size -= n
 	return nil
 }
 
 // Count reports how many copies of v are present.
-func (m *Multiset[T]) Count(v T) int { return m.counts[v] }
+func (m *Multiset[T]) Count(v T) int {
+	i := m.search(v)
+	if i < len(m.ents) && m.ents[i].v == v {
+		return m.ents[i].n
+	}
+	return 0
+}
 
 // Len reports the total number of copies across all elements.
 func (m *Multiset[T]) Len() int { return m.size }
 
 // Distinct reports the number of distinct elements present.
-func (m *Multiset[T]) Distinct() int { return len(m.keys) }
+func (m *Multiset[T]) Distinct() int { return len(m.ents) }
 
 // Values returns the distinct elements in deterministic (sorted) order.
 // The returned slice is a copy.
 func (m *Multiset[T]) Values() []T {
-	out := make([]T, len(m.keys))
-	copy(out, m.keys)
+	out := make([]T, len(m.ents))
+	for i, e := range m.ents {
+		out[i] = e.v
+	}
 	return out
 }
+
+// At returns the i-th distinct element in deterministic (sorted) order —
+// the allocation-free point lookup behind Values.
+func (m *Multiset[T]) At(i int) T { return m.ents[i].v }
 
 // ForEach visits each distinct element with its count, in deterministic
 // order. The callback must not mutate the multiset.
 func (m *Multiset[T]) ForEach(fn func(v T, n int)) {
-	for _, k := range m.keys {
-		fn(k, m.counts[k])
+	for _, e := range m.ents {
+		fn(e.v, e.n)
 	}
 }
 
 // Clone returns a deep copy sharing no state with m.
 func (m *Multiset[T]) Clone() *Multiset[T] {
-	c := &Multiset[T]{
-		counts: make(map[T]int, len(m.counts)),
-		keys:   make([]T, len(m.keys)),
-		less:   m.less,
-		size:   m.size,
-	}
-	//nfvet:allow maprange (order-insensitive copy into another map)
-	for k, v := range m.counts {
-		c.counts[k] = v
-	}
-	copy(c.keys, m.keys)
+	c := &Multiset[T]{less: m.less}
+	m.CloneInto(c)
 	return c
+}
+
+// CloneInto overwrites dst with a deep copy of m, reusing dst's backing
+// array when it has capacity. dst adopts m's ordering. The exploration hot
+// loops use this to recycle per-branch channel copies instead of allocating
+// a fresh multiset per explored configuration.
+func (m *Multiset[T]) CloneInto(dst *Multiset[T]) {
+	dst.less = m.less
+	dst.size = m.size
+	dst.ents = append(dst.ents[:0], m.ents...)
+}
+
+// Reset empties the multiset, keeping the backing array for reuse.
+func (m *Multiset[T]) Reset() {
+	m.ents = m.ents[:0]
+	m.size = 0
 }
 
 // Equal reports whether m and o contain exactly the same copies.
 func (m *Multiset[T]) Equal(o *Multiset[T]) bool {
-	if m.size != o.size || len(m.counts) != len(o.counts) {
+	if m.size != o.size || len(m.ents) != len(o.ents) {
 		return false
 	}
-	//nfvet:allow maprange (order-insensitive membership comparison)
-	for k, v := range m.counts {
-		if o.counts[k] != v {
+	for i, e := range m.ents {
+		if o.ents[i] != e {
 			return false
 		}
 	}
@@ -138,9 +171,8 @@ func (m *Multiset[T]) Contains(o *Multiset[T]) bool {
 	if o.size > m.size {
 		return false
 	}
-	//nfvet:allow maprange (order-insensitive membership comparison)
-	for k, v := range o.counts {
-		if m.counts[k] < v {
+	for _, e := range o.ents {
+		if m.Count(e.v) < e.n {
 			return false
 		}
 	}
@@ -150,32 +182,47 @@ func (m *Multiset[T]) Contains(o *Multiset[T]) bool {
 // String renders the multiset as "{v1×n1, v2×n2, ...}" in deterministic
 // order, primarily for certificates and test failure messages.
 func (m *Multiset[T]) String() string {
-	var b strings.Builder
-	b.WriteByte('{')
-	for i, k := range m.keys {
-		if i > 0 {
-			b.WriteString(", ")
-		}
-		fmt.Fprintf(&b, "%v×%d", k, m.counts[k])
-	}
-	b.WriteByte('}')
-	return b.String()
+	return string(m.AppendKey(nil, nil))
 }
 
 // Key returns a canonical string encoding of the multiset contents, usable
 // as a memoization key in adversary searches.
 func (m *Multiset[T]) Key() string { return m.String() }
 
-func (m *Multiset[T]) insertKey(v T) {
-	i := sort.Search(len(m.keys), func(i int) bool { return !m.less(m.keys[i], v) })
-	m.keys = append(m.keys, v)
-	copy(m.keys[i+1:], m.keys[i:])
-	m.keys[i] = v
+// AppendKey appends the canonical encoding (identical to String) to dst and
+// returns the extended slice. elem renders one element; pass nil for the
+// default fmt %v rendering. Callers on the exploration hot path supply an
+// allocation-free elem so the whole key lands in a reused scratch buffer.
+func (m *Multiset[T]) AppendKey(dst []byte, elem func(dst []byte, v T) []byte) []byte {
+	dst = append(dst, '{')
+	for i, e := range m.ents {
+		if i > 0 {
+			dst = append(dst, ", "...)
+		}
+		if elem != nil {
+			dst = elem(dst, e.v)
+		} else {
+			dst = fmt.Appendf(dst, "%v", e.v)
+		}
+		dst = append(dst, "×"...)
+		dst = strconv.AppendInt(dst, int64(e.n), 10)
+	}
+	return append(dst, '}')
 }
 
-func (m *Multiset[T]) deleteKey(v T) {
-	i := sort.Search(len(m.keys), func(i int) bool { return !m.less(m.keys[i], v) })
-	if i < len(m.keys) && m.keys[i] == v {
-		m.keys = append(m.keys[:i], m.keys[i+1:]...)
+// search returns the insertion index of v: the first index whose entry is
+// not less than v.
+func (m *Multiset[T]) search(v T) int {
+	// Binary search inlined over sort.Search to keep the hot path free of
+	// closure allocation.
+	lo, hi := 0, len(m.ents)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if m.less(m.ents[mid].v, v) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
+	return lo
 }

@@ -288,3 +288,83 @@ func TestKeyDistinguishesContents(t *testing.T) {
 		t.Fatalf("key missing element: %q", b.Key())
 	}
 }
+
+// TestAppendKey: the append rendering must equal String()/Key() byte for
+// byte (the interned stores hash the appended form, the legacy stores the
+// string form), with and without a custom element renderer, and must extend
+// a non-empty prefix in place.
+func TestAppendKey(t *testing.T) {
+	m := newInt()
+	for _, v := range []int{5, 3, 3, 9, 3} {
+		m.Add(v, 1)
+	}
+	if got, want := string(m.AppendKey(nil, nil)), m.Key(); got != want {
+		t.Fatalf("AppendKey = %q, Key = %q", got, want)
+	}
+	pre := []byte("ch|")
+	if got, want := string(m.AppendKey(pre, nil)), "ch|"+m.Key(); got != want {
+		t.Fatalf("AppendKey with prefix = %q, want %q", got, want)
+	}
+	empty := newStr()
+	if got := string(empty.AppendKey(nil, nil)); got != "{}" {
+		t.Fatalf("empty AppendKey = %q, want {}", got)
+	}
+	// Custom element renderer: must be consulted for every element.
+	s := newStr()
+	s.Add("b", 2)
+	s.Add("a", 1)
+	custom := func(dst []byte, v string) []byte { return append(append(dst, '<'), append([]byte(v), '>')...) }
+	if got, want := string(s.AppendKey(nil, custom)), "{<a>×1, <b>×2}"; got != want {
+		t.Fatalf("custom AppendKey = %q, want %q", got, want)
+	}
+}
+
+// TestQuickAppendKeyMatchesString: property form over random contents.
+func TestQuickAppendKeyMatchesString(t *testing.T) {
+	f := func(vals []uint8) bool {
+		m := newInt()
+		for _, v := range vals {
+			m.Add(int(v)%7, int(v)%3+1)
+		}
+		return string(m.AppendKey(nil, nil)) == m.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloneInto: reuses the destination's storage, matches Clone, and leaves
+// no aliasing between source and destination.
+func TestCloneInto(t *testing.T) {
+	src := newInt()
+	src.Add(1, 2)
+	src.Add(4, 1)
+	dst := newInt()
+	dst.Add(99, 5) // pre-existing content must be overwritten
+	src.CloneInto(dst)
+	if !dst.Equal(src) {
+		t.Fatalf("CloneInto: dst %s != src %s", dst, src)
+	}
+	dst.Add(7, 1)
+	if src.Count(7) != 0 {
+		t.Fatal("CloneInto aliased storage: mutating dst changed src")
+	}
+	src.Add(1, 1)
+	if dst.Count(1) != 2 {
+		t.Fatal("CloneInto aliased storage: mutating src changed dst")
+	}
+}
+
+// TestReset: empties in place and the multiset is fully reusable.
+func TestReset(t *testing.T) {
+	m := newInt()
+	m.Add(3, 4)
+	m.Reset()
+	if m.Len() != 0 || m.Distinct() != 0 || m.String() != "{}" {
+		t.Fatalf("after Reset: Len=%d Distinct=%d String=%q", m.Len(), m.Distinct(), m.String())
+	}
+	m.Add(2, 1)
+	if m.Len() != 1 || m.Count(2) != 1 {
+		t.Fatalf("reuse after Reset: Len=%d Count(2)=%d", m.Len(), m.Count(2))
+	}
+}

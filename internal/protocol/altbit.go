@@ -1,8 +1,6 @@
 package protocol
 
 import (
-	"strconv"
-
 	"repro/internal/channel"
 	"repro/internal/ioa"
 )
@@ -103,7 +101,7 @@ func (t *altBitT) DeliverPkt(p ioa.Packet) {
 	if !t.busy {
 		return
 	}
-	if p.Header == "a"+strconv.Itoa(t.bit) {
+	if p.Header == altBitAck[t.bit].Header {
 		// Current message acknowledged; move on.
 		t.busy = false
 		t.payload = ""
@@ -121,7 +119,7 @@ func (t *altBitT) NextPkt() (ioa.Packet, bool) {
 	if !t.busy {
 		return ioa.Packet{}, false
 	}
-	return ioa.Packet{Header: "d" + strconv.Itoa(t.bit), Payload: t.payload}, true
+	return ioa.Packet{Header: altBitData[t.bit], Payload: t.payload}, true
 }
 
 func (t *altBitT) Busy() bool { return t.busy || len(t.queue) > 0 }
@@ -132,9 +130,11 @@ func (t *altBitT) Clone() Transmitter {
 	return &c
 }
 
-func (t *altBitT) StateKey() string {
-	return key("altbitT{bit=").d(t.bit).s(" busy=").t(t.busy).
-		s(" payload=").q(t.payload).s(" q=").queue(t.queue).s("}").done()
+func (t *altBitT) StateKey() string { return keyString(t.AppendStateKey) }
+
+func (t *altBitT) AppendStateKey(dst []byte) []byte {
+	return keyTo(dst, "altbitT{bit=").d(t.bit).s(" busy=").t(t.busy).
+		s(" payload=").q(t.payload).s(" q=").queue(t.queue).s("}").bytes()
 }
 
 func (t *altBitT) StateSize() int {
@@ -151,6 +151,14 @@ type altBitR struct {
 
 var _ Receiver = (*altBitR)(nil)
 
+// altBitAck and altBitData hold the packet values of the two-symbol header
+// alphabet; working from constant tables keeps the send and delivery hot
+// paths free of string building.
+var (
+	altBitAck  = [2]ioa.Packet{{Header: "a0"}, {Header: "a1"}}
+	altBitData = [2]string{"d0", "d1"}
+)
+
 func (r *altBitR) DeliverPkt(p ioa.Packet) {
 	var bit int
 	switch p.Header {
@@ -163,7 +171,7 @@ func (r *altBitR) DeliverPkt(p ioa.Packet) {
 	}
 	// Acknowledge with the packet's own bit (also for duplicates, so a
 	// lost ack is eventually repaired by the retransmitted data packet).
-	r.acks = append(r.acks, ioa.Packet{Header: "a" + strconv.Itoa(bit)})
+	r.acks = append(r.acks, altBitAck[bit])
 	if bit == r.expect {
 		r.delivered = append(r.delivered, p.Payload)
 		r.expect ^= 1
@@ -197,9 +205,11 @@ func (r *altBitR) Clone() Receiver {
 	return &c
 }
 
-func (r *altBitR) StateKey() string {
-	return key("altbitR{expect=").d(r.expect).s(" pendAcks=").d(len(r.acks)).
-		s(" pendDeliv=").d(len(r.delivered)).s("}").done()
+func (r *altBitR) StateKey() string { return keyString(r.AppendStateKey) }
+
+func (r *altBitR) AppendStateKey(dst []byte) []byte {
+	return keyTo(dst, "altbitR{expect=").d(r.expect).s(" pendAcks=").d(len(r.acks)).
+		s(" pendDeliv=").d(len(r.delivered)).s("}").bytes()
 }
 
 func (r *altBitR) StateSize() int {

@@ -117,9 +117,11 @@ func (t *arrivalT) Clone() Transmitter {
 	return &c
 }
 
-func (t *arrivalT) StateKey() string {
-	return key("arrivalT{seq=").d(t.seq).s(" busy=").t(t.busy).
-		s(" payload=").q(t.payload).s(" q=").queue(t.queue).s("}").done()
+func (t *arrivalT) StateKey() string { return keyString(t.AppendStateKey) }
+
+func (t *arrivalT) AppendStateKey(dst []byte) []byte {
+	return keyTo(dst, "arrivalT{seq=").d(t.seq).s(" busy=").t(t.busy).
+		s(" payload=").q(t.payload).s(" q=").queue(t.queue).s("}").bytes()
 }
 
 func (t *arrivalT) StateSize() int {
@@ -190,16 +192,18 @@ func (r *arrivalR) Clone() Receiver {
 	return &c
 }
 
-func (r *arrivalR) StateKey() string {
-	k := key("arrivalR{seen=")
+func (r *arrivalR) StateKey() string { return keyString(r.AppendStateKey) }
+
+func (r *arrivalR) AppendStateKey(dst []byte) []byte {
+	k := keyTo(dst, "arrivalR{seen=")
 	for i, j := range r.seen {
 		if i > 0 {
-			k.s(",")
+			k = k.s(",")
 		}
-		k.d(j)
+		k = k.d(j)
 	}
 	return k.s(" pendAcks=").d(len(r.acks)).
-		s(" pendDeliv=").d(len(r.delivered)).s("}").done()
+		s(" pendDeliv=").d(len(r.delivered)).s("}").bytes()
 }
 
 func (r *arrivalR) StateSize() int {

@@ -156,10 +156,12 @@ func (t *cntkT) Clone() Transmitter {
 	return &c
 }
 
-func (t *cntkT) StateKey() string {
-	return key("cntk").d(t.k).s("T{phase=").d(t.phase).s(" busy=").t(t.busy).
+func (t *cntkT) StateKey() string { return keyString(t.AppendStateKey) }
+
+func (t *cntkT) AppendStateKey(dst []byte) []byte {
+	return keyTo(dst, "cntk").d(t.k).s("T{phase=").d(t.phase).s(" busy=").t(t.busy).
 		s(" payload=").q(t.payload).s(" stale=").d(t.ackStale).s(" fresh=").d(t.ackFresh).
-		s(" q=").queue(t.queue).s("}").done()
+		s(" q=").queue(t.queue).s("}").bytes()
 }
 
 // ControlKey implements ControlKeyer: the absolute phase counter is
@@ -167,10 +169,12 @@ func (t *cntkT) StateKey() string {
 // cntkDataHeader/cntkAckHeader, both of which take it mod K, so two
 // transmitter states that agree on everything but a multiple-of-K phase
 // shift emit the same packets and react identically to the same inputs.
-func (t *cntkT) ControlKey() string {
-	return key("cntk").d(t.k).s("T{phase=").d(t.phase % t.k).s(" busy=").t(t.busy).
+func (t *cntkT) ControlKey() string { return keyString(t.AppendControlKey) }
+
+func (t *cntkT) AppendControlKey(dst []byte) []byte {
+	return keyTo(dst, "cntk").d(t.k).s("T{phase=").d(t.phase % t.k).s(" busy=").t(t.busy).
 		s(" payload=").q(t.payload).s(" stale=").d(t.ackStale).s(" fresh=").d(t.ackFresh).
-		s(" q=").queue(t.queue).s("}").done()
+		s(" q=").queue(t.queue).s("}").bytes()
 }
 
 func (t *cntkT) StateSize() int {
@@ -255,10 +259,12 @@ func (r *cntkR) Clone() Receiver {
 	return &c
 }
 
-func (r *cntkR) StateKey() string {
-	return key("cntk").d(r.k).s("R{accepted=").d(r.accepted).s(" last=").d(r.lastAccepted).
+func (r *cntkR) StateKey() string { return keyString(r.AppendStateKey) }
+
+func (r *cntkR) AppendStateKey(dst []byte) []byte {
+	return keyTo(dst, "cntk").d(r.k).s("R{accepted=").d(r.accepted).s(" last=").d(r.lastAccepted).
 		s(" stale=").d(r.staleSnap).s(" fresh=").payloads(r.fresh).
-		s(" pendAcks=").d(len(r.acks)).s("}").done()
+		s(" pendAcks=").d(len(r.acks)).s("}").bytes()
 }
 
 // ControlKey implements ControlKeyer: the accepted and lastAccepted phase
@@ -266,14 +272,16 @@ func (r *cntkR) StateKey() string {
 // read only through cntkDataHeader/cntkAckHeader (mod K); lastAccepted's
 // "-1 = nothing accepted yet" sentinel is preserved since it gates the
 // re-acknowledgement branch.
-func (r *cntkR) ControlKey() string {
+func (r *cntkR) ControlKey() string { return keyString(r.AppendControlKey) }
+
+func (r *cntkR) AppendControlKey(dst []byte) []byte {
 	last := r.lastAccepted
 	if last >= 0 {
 		last %= r.k
 	}
-	return key("cntk").d(r.k).s("R{accepted=").d(r.accepted % r.k).s(" last=").d(last).
+	return keyTo(dst, "cntk").d(r.k).s("R{accepted=").d(r.accepted % r.k).s(" last=").d(last).
 		s(" stale=").d(r.staleSnap).s(" fresh=").payloads(r.fresh).
-		s(" pendAcks=").d(len(r.acks)).s("}").done()
+		s(" pendAcks=").d(len(r.acks)).s("}").bytes()
 }
 
 func (r *cntkR) StateSize() int {

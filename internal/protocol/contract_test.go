@@ -23,6 +23,62 @@ func everyProtocol() []Protocol {
 		NewCheat(3),
 		NewCntNoBind(),
 		NewLivelock(),
+		NewStabDL(2),
+		NewStabNaive(),
+	}
+}
+
+// TestContractAppendKeysMatch: the allocation-free Append*Key renderings
+// must stay byte-identical to the string-returning StateKey/ControlKey at
+// every reachable state — the interned cores dedup and hash on the appended
+// bytes, so a divergence here is a silent wrong-answer in verify and fuzz.
+// The endpoints are driven through a full exchange (including an ack round
+// trip and a duplicate delivery) so conditional key segments show up.
+func TestContractAppendKeysMatch(t *testing.T) {
+	for _, p := range everyProtocol() {
+		tx, rx := p.New(channel.NoGenie{}, channel.NoGenie{})
+		check := func(step string) {
+			t.Helper()
+			if got, want := string(AppendStateKeyOf(nil, tx)), tx.StateKey(); got != want {
+				t.Fatalf("%s %s: transmitter AppendStateKey %q != StateKey %q", p.Name(), step, got, want)
+			}
+			if got, want := string(AppendStateKeyOf(nil, rx)), rx.StateKey(); got != want {
+				t.Fatalf("%s %s: receiver AppendStateKey %q != StateKey %q", p.Name(), step, got, want)
+			}
+			if got, want := string(AppendControlKeyOf(nil, tx)), ControlKeyOf(tx); got != want {
+				t.Fatalf("%s %s: transmitter AppendControlKey %q != ControlKeyOf %q", p.Name(), step, got, want)
+			}
+			if got, want := string(AppendControlKeyOf(nil, rx)), ControlKeyOf(rx); got != want {
+				t.Fatalf("%s %s: receiver AppendControlKey %q != ControlKeyOf %q", p.Name(), step, got, want)
+			}
+			// Appending must extend, not clobber, an existing prefix.
+			pre := []byte("prefix|")
+			if got := string(AppendStateKeyOf(pre, tx)); got != "prefix|"+tx.StateKey() {
+				t.Fatalf("%s %s: AppendStateKeyOf clobbered its prefix: %q", p.Name(), step, got)
+			}
+		}
+		check("fresh")
+		for round := 0; round < 3; round++ {
+			tx.SendMsg(fmt.Sprintf("m%d", round))
+			check("after SendMsg")
+			pkt, ok := tx.NextPkt()
+			if !ok {
+				break
+			}
+			check("after NextPkt")
+			rx.DeliverPkt(pkt)
+			rx.DeliverPkt(pkt) // duplicate delivery: hits the stale branches
+			rx.TakeDelivered()
+			check("after DeliverPkt")
+			for {
+				ack, ok := rx.NextPkt()
+				if !ok {
+					break
+				}
+				tx.DeliverPkt(ack)
+			}
+			check("after ack round")
+		}
 	}
 }
 
@@ -245,6 +301,35 @@ func TestContractStateKeyReflectsQueue(t *testing.T) {
 		t2.SendMsg("y")
 		if t1.StateKey() == t2.StateKey() {
 			t.Fatalf("%s: state key ignores queued payloads", p.Name())
+		}
+	}
+}
+
+// TestContractIdleNextPktPure: an unproductive NextPkt must not change the
+// endpoint's observable state. The simulator's mutation version counter
+// (sim.Runner.Version) does not advance on a failed output step, and the
+// interned fuzz core reuses cached coverage points across it — a protocol
+// that mutates on idle NextPkt would silently break that reuse.
+func TestContractIdleNextPktPure(t *testing.T) {
+	for _, p := range everyProtocol() {
+		tx, rx := p.New(channel.NoGenie{}, channel.NoGenie{})
+		// Drain the receiver so both endpoints are idle.
+		for {
+			if _, ok := rx.NextPkt(); !ok {
+				break
+			}
+		}
+		for i := 0; i < 3; i++ {
+			kt, kr := tx.StateKey(), rx.StateKey()
+			if _, ok := tx.NextPkt(); ok {
+				t.Fatalf("%s: idle transmitter produced output", p.Name())
+			}
+			if _, ok := rx.NextPkt(); ok {
+				t.Fatalf("%s: drained receiver produced output", p.Name())
+			}
+			if tx.StateKey() != kt || rx.StateKey() != kr {
+				t.Fatalf("%s: unproductive NextPkt mutated state", p.Name())
+			}
 		}
 	}
 }

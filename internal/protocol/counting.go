@@ -289,10 +289,12 @@ func (t *countingT) Clone() Transmitter {
 	return &c
 }
 
-func (t *countingT) StateKey() string {
-	return key(t.mode.String()).s("T{bit=").d(t.bit).s(" busy=").t(t.busy).
+func (t *countingT) StateKey() string { return keyString(t.AppendStateKey) }
+
+func (t *countingT) AppendStateKey(dst []byte) []byte {
+	return keyTo(dst, t.mode.String()).s("T{bit=").d(t.bit).s(" busy=").t(t.busy).
 		s(" payload=").q(t.payload).s(" stale=").d(t.ackStale).s(" fresh=").d(t.ackFresh).
-		s(" ever=").pair(t.ackEver).s(" q=").queue(t.queue).s("}").done()
+		s(" ever=").pair(t.ackEver).s(" q=").queue(t.queue).s("}").bytes()
 }
 
 // ControlKey implements ControlKeyer: the sent metrics counters are always
@@ -302,13 +304,15 @@ func (t *countingT) StateKey() string {
 // Bisimulation argument for the non-exp modes: ackEver is written in
 // DeliverPkt but read only under t.mode == modeExp, so states differing
 // only in ackEver/sent step identically.
-func (t *countingT) ControlKey() string {
-	b := key(t.mode.String()).s("T{bit=").d(t.bit).s(" busy=").t(t.busy).
+func (t *countingT) ControlKey() string { return keyString(t.AppendControlKey) }
+
+func (t *countingT) AppendControlKey(dst []byte) []byte {
+	b := keyTo(dst, t.mode.String()).s("T{bit=").d(t.bit).s(" busy=").t(t.busy).
 		s(" payload=").q(t.payload).s(" stale=").d(t.ackStale).s(" fresh=").d(t.ackFresh)
 	if t.mode == modeExp {
-		b.s(" ever=").pair(t.ackEver)
+		b = b.s(" ever=").pair(t.ackEver)
 	}
-	return b.s(" q=").queue(t.queue).s("}").done()
+	return b.s(" q=").queue(t.queue).s("}").bytes()
 }
 
 // StateSize counts the counter words the automaton must record; the
@@ -439,23 +443,27 @@ func (r *countingR) Clone() Receiver {
 	return &c
 }
 
-func (r *countingR) StateKey() string {
-	return key(r.mode.String()).s("R{expect=").d(r.expect).s(" last=").d(r.lastAccepted).
+func (r *countingR) StateKey() string { return keyString(r.AppendStateKey) }
+
+func (r *countingR) AppendStateKey(dst []byte) []byte {
+	return keyTo(dst, r.mode.String()).s("R{expect=").d(r.expect).s(" last=").d(r.lastAccepted).
 		s(" stale=").d(r.staleSnap).s(" fresh=").payloads(r.fresh).
-		s(" ever=").pair(r.recvEver).s(" pendAcks=").d(len(r.acks)).s("}").done()
+		s(" ever=").pair(r.recvEver).s(" pendAcks=").d(len(r.acks)).s("}").bytes()
 }
 
 // ControlKey implements ControlKeyer: the recvEver history counters are
 // dropped except in modeExp, where snapshot folds them into the stale
 // threshold. Bisimulation argument mirrors countingT.ControlKey: outside
 // modeExp, recvEver is write-only.
-func (r *countingR) ControlKey() string {
-	b := key(r.mode.String()).s("R{expect=").d(r.expect).s(" last=").d(r.lastAccepted).
+func (r *countingR) ControlKey() string { return keyString(r.AppendControlKey) }
+
+func (r *countingR) AppendControlKey(dst []byte) []byte {
+	b := keyTo(dst, r.mode.String()).s("R{expect=").d(r.expect).s(" last=").d(r.lastAccepted).
 		s(" stale=").d(r.staleSnap).s(" fresh=").payloads(r.fresh)
 	if r.mode == modeExp {
-		b.s(" ever=").pair(r.recvEver)
+		b = b.s(" ever=").pair(r.recvEver)
 	}
-	return b.s(" pendAcks=").d(len(r.acks)).s("}").done()
+	return b.s(" pendAcks=").d(len(r.acks)).s("}").bytes()
 }
 
 // StateSize counts the counter words recorded by the receiver; as for the

@@ -61,6 +61,10 @@ func (t *livelockT) StateKey() string {
 	return "livelockT{busy=false}"
 }
 
+func (t *livelockT) AppendStateKey(dst []byte) []byte {
+	return append(dst, t.StateKey()...)
+}
+
 func (t *livelockT) StateSize() int { return 1 }
 
 type livelockR struct{}

@@ -212,6 +212,42 @@ func ControlKeyOf(endpoint interface{ StateKey() string }) string {
 	return endpoint.StateKey()
 }
 
+// KeyAppender is an optional endpoint extension rendering StateKey into a
+// caller-provided buffer without allocating. Implementations must append
+// exactly the bytes StateKey returns — the interned exploration cores build
+// identity from these bytes, and the simdiff harness holds the two paths
+// equal.
+type KeyAppender interface {
+	AppendStateKey(dst []byte) []byte
+}
+
+// ControlKeyAppender is the ControlKeyer analogue of KeyAppender.
+type ControlKeyAppender interface {
+	AppendControlKey(dst []byte) []byte
+}
+
+// AppendStateKeyOf appends the endpoint's StateKey to dst, using the
+// zero-alloc appender when the endpoint provides one.
+func AppendStateKeyOf(dst []byte, endpoint interface{ StateKey() string }) []byte {
+	if ka, ok := endpoint.(KeyAppender); ok {
+		return ka.AppendStateKey(dst)
+	}
+	return append(dst, endpoint.StateKey()...)
+}
+
+// AppendControlKeyOf appends the endpoint's control key to dst, mirroring
+// ControlKeyOf's fallback chain: declared control-key appender, then string
+// ControlKey, then the state key.
+func AppendControlKeyOf(dst []byte, endpoint interface{ StateKey() string }) []byte {
+	if ca, ok := endpoint.(ControlKeyAppender); ok {
+		return ca.AppendControlKey(dst)
+	}
+	if ck, ok := endpoint.(ControlKeyer); ok {
+		return append(dst, ck.ControlKey()...)
+	}
+	return AppendStateKeyOf(dst, endpoint)
+}
+
 // AckGenieUser is implemented by transmitters that consult a stale-copy
 // oracle for the r→t channel. When an endpoint is cloned into a forked
 // execution (sim.Runner.Fork), the harness rebinds the genie to the forked
@@ -263,33 +299,46 @@ func Names() []string {
 // path of both the adversary search and the fuzzer's coverage signal (two
 // calls per simulator operation), and fmt.Sprintf dominated those CPU
 // profiles; the append methods render the same bytes as the %d/%t/%q/%s
-// verbs without reflection. Verb names mirror fmt's.
+// verbs without reflection. Verb names mirror fmt's. The builder is a
+// by-value chain so keyTo-rooted chains stay on the stack: the Append*Key
+// endpoint methods render into caller scratch buffers with zero
+// allocations.
 type keyBuf struct{ buf []byte }
 
-func key(prefix string) *keyBuf { return &keyBuf{buf: append(make([]byte, 0, 96), prefix...)} }
+func key(prefix string) keyBuf { return keyBuf{buf: append(make([]byte, 0, 96), prefix...)} }
 
-func (k *keyBuf) s(s string) *keyBuf { k.buf = append(k.buf, s...); return k }
-func (k *keyBuf) d(n int) *keyBuf    { k.buf = strconv.AppendInt(k.buf, int64(n), 10); return k }
-func (k *keyBuf) t(v bool) *keyBuf   { k.buf = strconv.AppendBool(k.buf, v); return k }
-func (k *keyBuf) q(s string) *keyBuf { k.buf = strconv.AppendQuote(k.buf, s); return k }
+// keyTo roots a chain in a caller-provided buffer for the Append*Key paths.
+func keyTo(dst []byte, prefix string) keyBuf { return keyBuf{buf: append(dst, prefix...)} }
+
+func (k keyBuf) s(s string) keyBuf { k.buf = append(k.buf, s...); return k }
+func (k keyBuf) d(n int) keyBuf    { k.buf = strconv.AppendInt(k.buf, int64(n), 10); return k }
+func (k keyBuf) t(v bool) keyBuf   { k.buf = strconv.AppendBool(k.buf, v); return k }
+func (k keyBuf) q(s string) keyBuf { k.buf = strconv.AppendQuote(k.buf, s); return k }
 
 // pair renders a [2]int the way %v does: "[a b]".
-func (k *keyBuf) pair(a [2]int) *keyBuf {
+func (k keyBuf) pair(a [2]int) keyBuf {
 	return k.s("[").d(a[0]).s(" ").d(a[1]).s("]")
 }
 
 // queue renders a payload queue like joinQueue.
-func (k *keyBuf) queue(q []string) *keyBuf {
+func (k keyBuf) queue(q []string) keyBuf {
 	for i, s := range q {
 		if i > 0 {
-			k.s("|")
+			k = k.s("|")
 		}
-		k.s(s)
+		k = k.s(s)
 	}
 	return k
 }
 
-func (k *keyBuf) done() string { return string(k.buf) }
+func (k keyBuf) done() string  { return string(k.buf) }
+func (k keyBuf) bytes() []byte { return k.buf }
+
+// keyString materialises an Append*Key renderer as a string, for the
+// StateKey/ControlKey forms that remain the reporting and string-core path.
+func keyString(render func([]byte) []byte) string {
+	return string(render(make([]byte, 0, 96)))
+}
 
 // payloadCounts is a deterministic multiset of per-payload receipt counts:
 // a sorted assoc slice, so that rendering it into a state key needs no
@@ -330,9 +379,9 @@ func (pc payloadCounts) clone() payloadCounts {
 }
 
 // payloads renders the counts as "p=n;" runs (already sorted).
-func (k *keyBuf) payloads(pc payloadCounts) *keyBuf {
+func (k keyBuf) payloads(pc payloadCounts) keyBuf {
 	for _, e := range pc {
-		k.s(e.payload).s("=").d(e.n).s(";")
+		k = k.s(e.payload).s("=").d(e.n).s(";")
 	}
 	return k
 }

@@ -98,9 +98,11 @@ func (t *seqNumT) Clone() Transmitter {
 	return &c
 }
 
-func (t *seqNumT) StateKey() string {
-	return key("seqnumT{seq=").d(t.seq).s(" busy=").t(t.busy).
-		s(" payload=").q(t.payload).s(" q=").queue(t.queue).s("}").done()
+func (t *seqNumT) StateKey() string { return keyString(t.AppendStateKey) }
+
+func (t *seqNumT) AppendStateKey(dst []byte) []byte {
+	return keyTo(dst, "seqnumT{seq=").d(t.seq).s(" busy=").t(t.busy).
+		s(" payload=").q(t.payload).s(" q=").queue(t.queue).s("}").bytes()
 }
 
 // StateSize is O(log n): the counter's decimal width plus pending payloads.
@@ -166,9 +168,11 @@ func (r *seqNumR) Clone() Receiver {
 	return &c
 }
 
-func (r *seqNumR) StateKey() string {
-	return key("seqnumR{next=").d(r.next).s(" pendAcks=").d(len(r.acks)).
-		s(" pendDeliv=").d(len(r.delivered)).s("}").done()
+func (r *seqNumR) StateKey() string { return keyString(r.AppendStateKey) }
+
+func (r *seqNumR) AppendStateKey(dst []byte) []byte {
+	return keyTo(dst, "seqnumR{next=").d(r.next).s(" pendAcks=").d(len(r.acks)).
+		s(" pendDeliv=").d(len(r.delivered)).s("}").bytes()
 }
 
 func (r *seqNumR) StateSize() int {

@@ -184,10 +184,12 @@ func (t *stabDLT) Clone() Transmitter {
 	return &c
 }
 
-func (t *stabDLT) StateKey() string {
-	return key("stabdlT{label=").d(t.label).s(" busy=").t(t.busy).
+func (t *stabDLT) StateKey() string { return keyString(t.AppendStateKey) }
+
+func (t *stabDLT) AppendStateKey(dst []byte) []byte {
+	return keyTo(dst, "stabdlT{label=").d(t.label).s(" busy=").t(t.busy).
 		s(" payload=").q(t.payload).s(" acked=").d(t.acked).
-		s(" q=").queue(t.queue).s("}").done()
+		s(" q=").queue(t.queue).s("}").bytes()
 }
 
 func (t *stabDLT) StateSize() int {
@@ -271,10 +273,12 @@ func (r *stabDLR) Clone() Receiver {
 	return &c
 }
 
-func (r *stabDLR) StateKey() string {
-	return key("stabdlR{fence=").q(r.fence).s(" cand=").q(r.cand).
+func (r *stabDLR) StateKey() string { return keyString(r.AppendStateKey) }
+
+func (r *stabDLR) AppendStateKey(dst []byte) []byte {
+	return keyTo(dst, "stabdlR{fence=").q(r.fence).s(" cand=").q(r.cand).
 		s(" n=").d(r.candN).s(" pendAcks=").d(len(r.acks)).
-		s(" pendDeliv=").d(len(r.delivered)).s("}").done()
+		s(" pendDeliv=").d(len(r.delivered)).s("}").bytes()
 }
 
 func (r *stabDLR) StateSize() int {

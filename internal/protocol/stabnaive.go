@@ -124,9 +124,11 @@ func (t *stabNaiveT) Clone() Transmitter {
 	return &c
 }
 
-func (t *stabNaiveT) StateKey() string {
-	return key("stabnaiveT{round=").d(t.round).s(" busy=").t(t.busy).
-		s(" payload=").q(t.payload).s(" q=").queue(t.queue).s("}").done()
+func (t *stabNaiveT) StateKey() string { return keyString(t.AppendStateKey) }
+
+func (t *stabNaiveT) AppendStateKey(dst []byte) []byte {
+	return keyTo(dst, "stabnaiveT{round=").d(t.round).s(" busy=").t(t.busy).
+		s(" payload=").q(t.payload).s(" q=").queue(t.queue).s("}").bytes()
 }
 
 func (t *stabNaiveT) StateSize() int {
@@ -193,9 +195,11 @@ func (r *stabNaiveR) Clone() Receiver {
 	return &c
 }
 
-func (r *stabNaiveR) StateKey() string {
-	return key("stabnaiveR{round=").d(r.round).s(" pendAcks=").d(len(r.acks)).
-		s(" pendDeliv=").d(len(r.delivered)).s("}").done()
+func (r *stabNaiveR) StateKey() string { return keyString(r.AppendStateKey) }
+
+func (r *stabNaiveR) AppendStateKey(dst []byte) []byte {
+	return keyTo(dst, "stabnaiveR{round=").d(r.round).s(" pendAcks=").d(len(r.acks)).
+		s(" pendDeliv=").d(len(r.delivered)).s("}").bytes()
 }
 
 func (r *stabNaiveR) StateSize() int {

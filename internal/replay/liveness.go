@@ -32,10 +32,10 @@ package replay
 import (
 	"fmt"
 	"strconv"
-	"strings"
 
 	"repro/internal/channel"
 	"repro/internal/ioa"
+	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -110,18 +110,26 @@ type DriveOutcome struct {
 	DecisionsExhausted bool
 }
 
-// driveKey canonically encodes the joint configuration the cycle detector
-// hashes on: both endpoint state keys, both channels' multiset contents, and
-// the delivery count. Including the channel contents makes a repeat imply a
-// genuine loop of the deterministic drive (endpoint keys alone are not
-// enough for genie-consulting protocols, whose moves read channel
-// occupancy); including the delivery count makes a repeat imply no delivery
-// progress, which is what the pumping argument needs.
-func driveKey(r *sim.Runner) string {
-	tkey, rkey, _, _ := r.JointState()
-	return strings.Join([]string{
-		tkey, rkey, r.ChData.Key(), r.ChAck.Key(), strconv.Itoa(len(r.Delivered())),
-	}, "\x1f")
+// appendDriveKey canonically encodes the joint configuration the cycle
+// detector hashes on: both endpoint state keys, both channels' multiset
+// contents, and the delivery count, 0x1f-joined. Including the channel
+// contents makes a repeat imply a genuine loop of the deterministic drive
+// (endpoint keys alone are not enough for genie-consulting protocols, whose
+// moves read channel occupancy); including the delivery count makes a
+// repeat imply no delivery progress, which is what the pumping argument
+// needs. It appends into dst so the drive loop renders each round's key
+// into one reused buffer — this is the hottest line of livelock
+// certification, which in turn dominates shrink-heavy fuzz campaigns.
+func appendDriveKey(dst []byte, r *sim.Runner) []byte {
+	dst = protocol.AppendStateKeyOf(dst, r.T)
+	dst = append(dst, 0x1f)
+	dst = protocol.AppendStateKeyOf(dst, r.R)
+	dst = append(dst, 0x1f)
+	dst = r.ChData.AppendKey(dst)
+	dst = append(dst, 0x1f)
+	dst = r.ChAck.AppendKey(dst)
+	dst = append(dst, 0x1f)
+	return strconv.AppendInt(dst, int64(len(r.Delivered())), 10)
 }
 
 // CloseDrive replays l and drives the quiescence-forcing closing extension:
@@ -154,20 +162,21 @@ func CloseDrive(l *trace.Log, mode DriveMode, budget int) (*DriveOutcome, error)
 		r.SetPolicies(channel.DropEvery(1), channel.DropEvery(1))
 	}
 	seen := make(map[string]int) // joint configuration -> event index at first sighting
+	var kbuf []byte
 	for out.Rounds < budget {
 		if !r.T.Busy() {
 			out.Quiescent = true
 			break
 		}
-		key := driveKey(r)
-		if at, ok := seen[key]; ok {
+		kbuf = appendDriveKey(kbuf[:0], r)
+		if at, ok := seen[string(kbuf)]; ok { // no-alloc map probe
 			out.CycleFound = true
-			out.RepeatedKey = key
+			out.RepeatedKey = string(kbuf)
 			out.CycleStart = at
 			out.CycleEnd = len(rd.log.Events)
 			break
 		}
-		seen[key] = len(rd.log.Events)
+		seen[string(kbuf)] = len(rd.log.Events)
 		r.StepTransmit()
 		r.DrainAcks()
 		out.Rounds++

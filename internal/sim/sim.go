@@ -49,6 +49,13 @@ type Config struct {
 	// collected either way; traces are needed for checking and
 	// certificates but dominate memory on long runs.
 	RecordTrace bool
+	// Monitor, when non-nil, observes the externally visible actions in
+	// order, receiving exactly the event stream RecordTrace would record.
+	// The interned fuzz core judges runs through an ioa.LiveChecker monitor
+	// instead of a post-hoc trace scan. Monitors do not follow Fork: a fork
+	// is a speculative branch, and feeding it to the same monitor would
+	// interleave two executions into one stream.
+	Monitor ioa.Monitor
 	// TraceLog, when non-nil, receives a deterministic-replay event log of
 	// the run: every driver operation (submit, transmit, drain, stale
 	// delivery), every externally visible action, and every channel-policy
@@ -120,14 +127,27 @@ type Runner struct {
 	// ChData is the t→r physical channel; ChAck is the r→t channel.
 	ChData, ChAck *channel.NonFIFO
 
-	rec       *ioa.Recorder
-	tlog      *trace.Log
-	headers   map[string]bool
-	sent      int // send_msg counter (message IDs)
-	delivered []string
-	metrics   Metrics
-	curMsg    int // index of the message data packets are attributed to
+	rec        *ioa.Recorder
+	mon        ioa.Monitor
+	tlog       *trace.Log
+	headers    map[string]bool
+	lastHeader string // last header inserted into headers (retransmits repeat it)
+	sent       int    // send_msg counter (message IDs)
+	delivered  []string
+	metrics    Metrics
+	curMsg     int // index of the message data packets are attributed to
+	ver        uint64
 }
+
+// Version reports a counter that advances whenever the joint configuration
+// may have changed: on every submit, packet send, packet receive, stale
+// drop and Reset. Between two equal Version() readings the endpoint states
+// and channel occupancies are identical, so derived observations (state
+// keys, coverage points) can be reused instead of recomputed. This leans on
+// the endpoint contract that an unproductive NextPkt mutates nothing
+// observable (TestContractIdleNextPktPure); a productive one always routes
+// through recordSend.
+func (r *Runner) Version() uint64 { return r.ver }
 
 // NewRunner constructs a runner; the protocol's genies are wired to the
 // live channels.
@@ -148,6 +168,7 @@ func NewRunner(cfg Config) *Runner {
 	if cfg.RecordTrace {
 		run.rec = ioa.NewRecorder()
 	}
+	run.mon = cfg.Monitor
 	if cfg.TraceLog != nil {
 		run.tlog = cfg.TraceLog
 		if run.tlog.Meta[trace.MetaProtocol] == "" {
@@ -217,6 +238,7 @@ func (r *Runner) Fork(data, ack channel.Policy) *Runner {
 		metrics:   r.metrics,
 		curMsg:    r.curMsg,
 	}
+	f.cfg.Monitor = nil // monitors do not follow forks; see Config.Monitor
 	f.metrics.DataPacketsPerMessage = append([]int(nil), r.metrics.DataPacketsPerMessage...)
 	//nfvet:allow maprange (order-insensitive copy into another set)
 	for h := range r.headers {
@@ -278,9 +300,13 @@ func (r *Runner) SubmitMsg(payload string) {
 	if r.rec != nil {
 		r.rec.SendMsg(ioa.Message{ID: r.sent, Payload: payload})
 	}
+	if r.mon != nil {
+		r.mon.SendMsg(ioa.Message{ID: r.sent, Payload: payload})
+	}
 	if r.tlog != nil {
 		r.tlog.Emit(trace.Event{Kind: trace.KindSubmit, Msg: ioa.Message{ID: r.sent, Payload: payload}})
 	}
+	r.ver++
 	r.sent++
 	r.curMsg++
 	r.metrics.DataPacketsPerMessage = append(r.metrics.DataPacketsPerMessage, 0)
@@ -300,14 +326,22 @@ func (r *Runner) StepTransmit() bool {
 		return false
 	}
 	r.recordSend(ioa.TtoR, p)
-	r.ChData.Send(p)
+	// The policy is consulted before the channel is touched so the
+	// DeliverNow and Drop branches can use the fused channel operations
+	// (add-then-remove of the same copy is the identity on the in-transit
+	// multiset). No observer runs between the send and its fate: policies
+	// see only the packet, and the receiver's genie reads the channel only
+	// inside DeliverPkt, after the copy would have been removed anyway.
 	switch r.cfg.DataPolicy.OnSend(p) {
 	case channel.DeliverNow:
-		r.deliverData(p)
+		r.ChData.SendDelivered(p)
+		r.recordRecv(ioa.TtoR, p)
+		r.R.DeliverPkt(p)
+		r.collectDelivered()
 	case channel.Drop:
-		_ = r.ChData.Drop(p)
+		r.ChData.SendDropped(p)
 	case channel.Delay:
-		// stays in transit
+		r.ChData.Send(p)
 	}
 	if t := r.ChData.InTransit(); t > r.metrics.MaxInTransitData {
 		r.metrics.MaxInTransitData = t
@@ -327,13 +361,15 @@ func (r *Runner) DrainAcks() {
 			return
 		}
 		r.recordSend(ioa.RtoT, a)
-		r.ChAck.Send(a)
 		switch r.cfg.AckPolicy.OnSend(a) {
 		case channel.DeliverNow:
-			r.deliverAck(a)
+			r.ChAck.SendDelivered(a)
+			r.recordRecv(ioa.RtoT, a)
+			r.T.DeliverPkt(a)
 		case channel.Drop:
-			_ = r.ChAck.Drop(a)
+			r.ChAck.SendDropped(a)
 		case channel.Delay:
+			r.ChAck.Send(a)
 		}
 	}
 }
@@ -384,6 +420,7 @@ func (r *Runner) DropStale(d ioa.Dir, p ioa.Packet) error {
 	default:
 		return fmt.Errorf("sim: unknown direction %v", d)
 	}
+	r.ver++
 	if r.tlog != nil {
 		r.tlog.Emit(trace.Event{Kind: trace.KindDropStale, Dir: d, Pkt: p})
 	}
@@ -454,6 +491,9 @@ func (r *Runner) Poison(d ioa.Dir, p ioa.Packet) error {
 	if r.rec != nil {
 		r.rec.SendPkt(d, p)
 	}
+	if r.mon != nil {
+		r.mon.SendPkt(d, p)
+	}
 	if r.tlog != nil {
 		r.tlog.Emit(trace.Event{Kind: trace.KindPoison, Dir: d, Pkt: p})
 	}
@@ -475,6 +515,61 @@ func (r *Runner) recordStale(d ioa.Dir, p ioa.Packet) {
 // system somewhere no earlier input did.
 func (r *Runner) JointState() (tkey, rkey string, dataTransit, ackTransit int) {
 	return r.T.StateKey(), r.R.StateKey(), r.ChData.InTransit(), r.ChAck.InTransit()
+}
+
+// AppendJointState is the zero-alloc form of JointState: the state keys are
+// appended to the caller's scratch buffers (endpoints implementing
+// protocol.KeyAppender render without allocating).
+func (r *Runner) AppendJointState(tdst, rdst []byte) (tkey, rkey []byte, dataTransit, ackTransit int) {
+	return protocol.AppendStateKeyOf(tdst, r.T), protocol.AppendStateKeyOf(rdst, r.R),
+		r.ChData.InTransit(), r.ChAck.InTransit()
+}
+
+// Reset reinitialises the runner in place for a fresh run of cfg, recycling
+// the channel multisets, the header set, the recorder and the metrics
+// slices. It is NewRunner for pooled runners: the fuzz exec core resets one
+// runner per input instead of allocating the whole object graph per
+// execution.
+func (r *Runner) Reset(cfg Config) {
+	cfg = cfg.withDefaults()
+	r.ChData.Reset(ioa.TtoR)
+	r.ChAck.Reset(ioa.RtoT)
+	t, rcv := cfg.Protocol.New(channel.ChannelGenie{Ch: r.ChData}, channel.ChannelGenie{Ch: r.ChAck})
+	r.cfg = cfg
+	r.T, r.R = t, rcv
+	if r.headers == nil {
+		r.headers = make(map[string]bool)
+	} else {
+		clear(r.headers)
+	}
+	r.ver++
+	r.lastHeader = ""
+	r.sent = 0
+	r.delivered = r.delivered[:0]
+	r.metrics = Metrics{DataPacketsPerMessage: r.metrics.DataPacketsPerMessage[:0]}
+	r.curMsg = -1
+	r.mon = cfg.Monitor
+	if cfg.RecordTrace {
+		if r.rec != nil {
+			r.rec.Reset()
+		} else {
+			r.rec = ioa.NewRecorder()
+		}
+	} else {
+		r.rec = nil
+	}
+	r.tlog = nil
+	if cfg.TraceLog != nil {
+		r.tlog = cfg.TraceLog
+		if r.tlog.Meta[trace.MetaProtocol] == "" {
+			r.tlog.SetMeta(trace.MetaProtocol, cfg.Protocol.Name())
+		}
+		if r.tlog.Meta[trace.MetaKind] == "" {
+			r.tlog.SetMeta(trace.MetaKind, "sim")
+		}
+		r.cfg.DataPolicy = channel.Capture(r.cfg.DataPolicy, ioa.TtoR, r.tlog)
+		r.cfg.AckPolicy = channel.Capture(r.cfg.AckPolicy, ioa.RtoT, r.tlog)
+	}
 }
 
 // Delivered returns the payloads delivered so far (live view).
@@ -507,28 +602,13 @@ func (r *Runner) result(err error) Result {
 	return res
 }
 
-func (r *Runner) deliverData(p ioa.Packet) {
-	if err := r.ChData.Deliver(p); err != nil {
-		// Impossible by construction: the packet was just sent.
-		panic("sim: deliverData: " + err.Error())
-	}
-	r.recordRecv(ioa.TtoR, p)
-	r.R.DeliverPkt(p)
-	r.collectDelivered()
-}
-
-func (r *Runner) deliverAck(a ioa.Packet) {
-	if err := r.ChAck.Deliver(a); err != nil {
-		panic("sim: deliverAck: " + err.Error())
-	}
-	r.recordRecv(ioa.RtoT, a)
-	r.T.DeliverPkt(a)
-}
-
 func (r *Runner) collectDelivered() {
 	for _, payload := range r.R.TakeDelivered() {
 		if r.rec != nil {
 			r.rec.ReceiveMsg(ioa.Message{ID: len(r.delivered), Payload: payload})
+		}
+		if r.mon != nil {
+			r.mon.ReceiveMsg(ioa.Message{ID: len(r.delivered), Payload: payload})
 		}
 		if r.tlog != nil {
 			r.tlog.Emit(trace.Event{Kind: trace.KindRecvMsg, Msg: ioa.Message{ID: len(r.delivered), Payload: payload}})
@@ -538,13 +618,20 @@ func (r *Runner) collectDelivered() {
 }
 
 func (r *Runner) recordSend(d ioa.Dir, p ioa.Packet) {
+	r.ver++
 	if r.rec != nil {
 		r.rec.SendPkt(d, p)
+	}
+	if r.mon != nil {
+		r.mon.SendPkt(d, p)
 	}
 	if r.tlog != nil {
 		r.tlog.Emit(trace.Event{Kind: trace.KindSendPkt, Dir: d, Pkt: p})
 	}
-	r.headers[p.Header] = true
+	if p.Header != r.lastHeader || len(r.headers) == 0 {
+		r.headers[p.Header] = true
+		r.lastHeader = p.Header
+	}
 	if d == ioa.TtoR {
 		r.metrics.TotalDataPackets++
 		if r.curMsg >= 0 && r.curMsg < len(r.metrics.DataPacketsPerMessage) {
@@ -556,8 +643,12 @@ func (r *Runner) recordSend(d ioa.Dir, p ioa.Packet) {
 }
 
 func (r *Runner) recordRecv(d ioa.Dir, p ioa.Packet) {
+	r.ver++
 	if r.rec != nil {
 		r.rec.ReceivePkt(d, p)
+	}
+	if r.mon != nil {
+		r.mon.ReceivePkt(d, p)
 	}
 	if r.tlog != nil {
 		r.tlog.Emit(trace.Event{Kind: trace.KindRecvPkt, Dir: d, Pkt: p})

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/channel"
+	"repro/internal/intern"
 	"repro/internal/ioa"
 	"repro/internal/protocol"
 	"repro/internal/stabilize"
@@ -142,6 +143,42 @@ func (c *config) clone() *config {
 	return nc
 }
 
+// cloneOf deep-copies c exactly like (*config).clone, recycling a released
+// configuration's struct and channel storage when one is available.
+// Duplicate successors and expanded parents dominate the exploration's
+// allocation profile; the endpoints are still freshly cloned (the protocol
+// Clone contract allocates), but the config struct and both channel
+// multisets are reused.
+func (e *explorer) cloneOf(c *config) *config {
+	n := len(e.free)
+	if n == 0 {
+		return c.clone()
+	}
+	nc := e.free[n-1]
+	e.free = e.free[:n-1]
+	nc.t = c.t.Clone()
+	nc.r = c.r.Clone()
+	c.chData.CloneInto(nc.chData)
+	c.chAck.CloneInto(nc.chAck)
+	nc.submitted, nc.delivered, nc.id = c.submitted, c.delivered, 0
+	nc.remaining, nc.frontier, nc.lost = c.remaining, c.frontier, c.lost
+	if u, ok := nc.t.(protocol.AckGenieUser); ok {
+		u.SetAckGenie(channel.ChannelGenie{Ch: nc.chAck})
+	}
+	if u, ok := nc.r.(protocol.DataGenieUser); ok {
+		u.SetDataGenie(channel.ChannelGenie{Ch: nc.chData})
+	}
+	return nc
+}
+
+// release returns a dead configuration (duplicate successor or expanded
+// parent) to the freelist. The endpoint references are dropped so the
+// cloned endpoints can be collected immediately.
+func (e *explorer) release(c *config) {
+	c.t, c.r = nil, nil
+	e.free = append(e.free, c)
+}
+
 // key is the canonical configuration encoding the visited set dedups on. In
 // stabilize mode the amnesty bookkeeping joins the key: two occurrences of
 // the same joint configuration with different remaining budgets, frontiers
@@ -172,12 +209,80 @@ func (c *config) key(stabilizeMode bool) string {
 	return b.String()
 }
 
+// keyOf is the interned fast path of config.key: it renders the canonical
+// key once into the explorer's scratch buffer — byte-identical to key(), so
+// the space hash is store-independent — while interning the four string
+// components from their sub-slices into the packed intKey the default store
+// dedups on. The returned bytes alias e.kbuf and are valid until the next
+// call.
+func (e *explorer) keyOf(ns *config) (intKey, []byte) {
+	var k intKey
+	b := protocol.AppendControlKeyOf(e.kbuf[:0], ns.t)
+	k.tc = e.tab.InternBytes(b)
+	b = append(b, '|')
+	m := len(b)
+	b = protocol.AppendControlKeyOf(b, ns.r)
+	k.rc = e.tab.InternBytes(b[m:])
+	b = append(b, '|')
+	m = len(b)
+	b = ns.chData.AppendKey(b)
+	k.dk = e.tab.InternBytes(b[m:])
+	b = append(b, '|')
+	m = len(b)
+	b = ns.chAck.AppendKey(b)
+	k.ak = e.tab.InternBytes(b[m:])
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(ns.submitted), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(ns.delivered), 10)
+	k.sub, k.del = ns.submitted, ns.delivered
+	if e.cfg.Stabilize {
+		b = append(b, "|g"...)
+		b = strconv.AppendInt(b, int64(ns.remaining), 10)
+		b = append(b, "|f"...)
+		b = strconv.AppendInt(b, int64(ns.frontier), 10)
+		b = append(b, "|l"...)
+		b = strconv.AppendUint(b, ns.lost, 16)
+		k.grem, k.gfro, k.lost = ns.remaining, ns.frontier, ns.lost
+	}
+	e.kbuf = b
+	return k, b
+}
+
 // parentEdge records how a configuration was first reached, for witness
-// path reconstruction.
+// path reconstruction. The move's packet rides as an interned id (pktIntern)
+// rather than an ioa.Packet: the table is one entry per visited state, and
+// two inline string headers per entry would multiply its footprint and pin
+// every packet string of every released configuration.
 type parentEdge struct {
 	parent int32
-	mv     move
+	kind   moveKind
+	pkt    uint32 // interned via explorer.pkts; 0 is the zero packet
 }
+
+// pktIntern interns ioa.Packets to dense ids, reversibly (witness
+// reconstruction needs the packet back to re-drive the move). Id 0 is the
+// zero packet, so packet-less moves pack to the zero parentEdge fields.
+type pktIntern struct {
+	ids  map[ioa.Packet]uint32
+	pkts []ioa.Packet
+}
+
+func newPktIntern() *pktIntern {
+	return &pktIntern{ids: map[ioa.Packet]uint32{{}: 0}, pkts: []ioa.Packet{{}}}
+}
+
+func (pi *pktIntern) intern(p ioa.Packet) uint32 {
+	if id, ok := pi.ids[p]; ok {
+		return id
+	}
+	id := uint32(len(pi.pkts))
+	pi.pkts = append(pi.pkts, p)
+	pi.ids[p] = id
+	return id
+}
+
+func (pi *pktIntern) at(id uint32) ioa.Packet { return pi.pkts[id] }
 
 // nodeCounts keeps the progress-relevant counters per node for the DL3
 // analysis (the full config is released once its BFS wave passes). frontier
@@ -212,9 +317,17 @@ type explorer struct {
 
 	seen    store
 	queue   []*config
+	free    []*config // released configurations recycled by cloneOf
 	parents []parentEdge
 	nodes   []nodeCounts
 	edges   []edgeRec
+
+	// tab interns the key components of keyOf, pkts the parent-edge
+	// packets, and kbuf is the canonical-key scratch buffer both key paths
+	// render into (valid until the next visit).
+	tab  *intern.Local
+	pkts *pktIntern
+	kbuf []byte
 
 	// roots maps BFS root node ids to their corrupted seeds (stabilize
 	// mode only; nil otherwise — clean mode has the single root 0).
@@ -229,7 +342,15 @@ func (e *explorer) visit(ns *config, from int32, mv move) (int32, bool) {
 	if e.err != nil {
 		return -1, false
 	}
-	id, fresh, err := e.seen.insert(ns.key(e.cfg.Stabilize))
+	var ik intKey
+	var canon []byte
+	if e.cfg.StringKeys {
+		canon = append(e.kbuf[:0], ns.key(e.cfg.Stabilize)...)
+		e.kbuf = canon
+	} else {
+		ik, canon = e.keyOf(ns)
+	}
+	id, fresh, err := e.seen.insert(ik, canon)
 	if err != nil {
 		e.err = err
 		return -1, false
@@ -237,8 +358,10 @@ func (e *explorer) visit(ns *config, from int32, mv move) (int32, bool) {
 	if fresh {
 		ns.id = id
 		e.queue = append(e.queue, ns)
-		e.parents = append(e.parents, parentEdge{parent: from, mv: mv})
+		e.parents = append(e.parents, parentEdge{parent: from, kind: mv.kind, pkt: e.pkts.intern(mv.pkt)})
 		e.nodes = append(e.nodes, nodeCounts{submitted: ns.submitted, delivered: ns.delivered, frontier: ns.frontier})
+	} else {
+		e.release(ns)
 	}
 	if from >= 0 {
 		progress := ns.delivered > e.nodes[from].delivered
@@ -313,7 +436,7 @@ func (e *explorer) expand(s *config) {
 	// submit: hand the transmitter the next positional message, only when
 	// it is idle and the message bound has room.
 	if !s.t.Busy() && int(s.submitted) < e.cfg.MaxMessages {
-		ns := s.clone()
+		ns := e.cloneOf(s)
 		ns.t.SendMsg(payload(int(ns.submitted)))
 		ns.submitted++
 		e.visit(ns, s.id, move{kind: mvSubmit})
@@ -323,7 +446,7 @@ func (e *explorer) expand(s *config) {
 	// delayed in transit; at cap it is dropped at send, which is the only
 	// way to let the transmitter keep stepping against a full channel.
 	{
-		ns := s.clone()
+		ns := e.cloneOf(s)
 		if pkt, ok := ns.t.NextPkt(); ok {
 			ns.chData.Send(pkt)
 			if s.chData.InTransit() < L {
@@ -332,15 +455,19 @@ func (e *explorer) expand(s *config) {
 				_ = ns.chData.Drop(pkt)
 				e.visit(ns, s.id, move{kind: mvTransmitDrop})
 			}
+		} else {
+			e.release(ns)
 		}
 	}
 
 	// deliver-data: each distinct in-transit data packet, removed from the
 	// channel before the receiver sees it (genie snapshots observe the
 	// post-delivery transit), DL1-checked per delivery, acks drained.
-	for _, pkt := range s.chData.Packets() {
-		ns := s.clone()
+	for i, n := 0, s.chData.DistinctPackets(); i < n; i++ {
+		pkt := s.chData.PacketAt(i)
+		ns := e.cloneOf(s)
 		if ns.chData.Deliver(pkt) != nil {
+			e.release(ns)
 			continue
 		}
 		mv := move{kind: mvDeliverData, pkt: pkt}
@@ -353,9 +480,11 @@ func (e *explorer) expand(s *config) {
 	}
 
 	// deliver-ack: each distinct in-transit ack packet.
-	for _, pkt := range s.chAck.Packets() {
-		ns := s.clone()
+	for i, n := 0, s.chAck.DistinctPackets(); i < n; i++ {
+		pkt := s.chAck.PacketAt(i)
+		ns := e.cloneOf(s)
 		if ns.chAck.Deliver(pkt) != nil {
+			e.release(ns)
 			continue
 		}
 		ns.t.DeliverPkt(pkt)
@@ -367,18 +496,24 @@ func (e *explorer) expand(s *config) {
 	// needed to unblock a send; see DESIGN.md §12 for why postponing them
 	// preserves endpoint-observable reachability for genie-free protocols.
 	if !e.por || s.chData.InTransit() >= L {
-		for _, pkt := range s.chData.Packets() {
-			ns := s.clone()
+		for i, n := 0, s.chData.DistinctPackets(); i < n; i++ {
+			pkt := s.chData.PacketAt(i)
+			ns := e.cloneOf(s)
 			if ns.chData.Drop(pkt) == nil {
 				e.visit(ns, s.id, move{kind: mvDropData, pkt: pkt})
+			} else {
+				e.release(ns)
 			}
 		}
 	}
 	if !e.por || s.chAck.InTransit() >= L {
-		for _, pkt := range s.chAck.Packets() {
-			ns := s.clone()
+		for i, n := 0, s.chAck.DistinctPackets(); i < n; i++ {
+			pkt := s.chAck.PacketAt(i)
+			ns := e.cloneOf(s)
 			if ns.chAck.Drop(pkt) == nil {
 				e.visit(ns, s.id, move{kind: mvDropAck, pkt: pkt})
+			} else {
+				e.release(ns)
 			}
 		}
 	}

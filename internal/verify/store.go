@@ -3,33 +3,99 @@ package verify
 import (
 	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"os"
 )
 
-// store is the visited set of the exploration: canonical configuration keys
+// store is the visited set of the exploration: canonical configurations
 // mapped to dense ids (assigned in first-visit order, so id order is BFS
-// order). Both implementations maintain the canonical space hash — the XOR
-// of fnv64a over all visited keys — an order-independent fingerprint of the
-// explored configuration set that two runs of the same protocol at the same
-// bounds must agree on (the POR on/off equivalence tests compare verdicts,
-// not hashes: the reduction visits fewer states by design).
+// order). Every insert carries the configuration in two equivalent forms —
+// the packed interned key (component ids plus counters) and the rendered
+// canonical key bytes — and each implementation dedups on one of them:
+//
+//   - intStore (the default) dedups on the packed key: one comparable
+//     32-byte struct probe instead of hashing a canonical string that runs
+//     to hundreds of bytes at high occupancy;
+//   - memStore (Config.StringKeys) and diskStore (Config.SpillDir) dedup on
+//     the canonical bytes, the legacy reference semantics.
+//
+// The two dedup disciplines agree: interning is injective (equal component
+// ids ⇔ equal component strings), so a packed-key hit is a canonical-key
+// hit. The converse — distinct packed keys implying distinct canonical
+// keys — additionally needs the '|'-joined rendering to be unambiguous,
+// which every registered key format satisfies (no component embeds the
+// separator at a splitting position); a hypothetical ambiguous format would
+// make the packed store strictly *finer* (never merging distinct
+// configurations), erring sound. TestStoreEquivalence and the simdiff
+// harness pin States/Edges/SpaceHash equality across all three stores.
+//
+// All implementations maintain the canonical space hash — the XOR of fnv64a
+// over all visited canonical keys, folded only on fresh inserts — an
+// order-independent fingerprint of the explored configuration set that two
+// runs of the same protocol at the same bounds must agree on (the POR on/off
+// equivalence tests compare verdicts, not hashes: the reduction visits fewer
+// states by design).
 type store interface {
-	// insert returns the key's id and whether it was fresh.
-	insert(key string) (id int32, fresh bool, err error)
+	// insert returns the configuration's id and whether it was fresh. canon
+	// is valid only for the duration of the call (it aliases the explorer's
+	// scratch buffer); implementations that retain it must copy.
+	insert(k intKey, canon []byte) (id int32, fresh bool, err error)
 	len() int
 	hash() uint64
 	close() error
 }
 
-func keyHash(k string) uint64 {
-	h := fnv.New64a()
-	_, _ = io.WriteString(h, k)
-	return h.Sum64()
+// intKey is the packed form of a canonical configuration key: the four
+// string components (transmitter control key, receiver control key, data
+// channel key, ack channel key) interned to dense ids, plus the raw
+// counters. The stabilize-mode bookkeeping rides in grem/gfro/lost and is
+// zero in clean mode, exactly mirroring the string key's conditional
+// "|g…|f…|l…" suffix.
+type intKey struct {
+	tc, rc, dk, ak uint32
+	sub, del       int32
+	grem, gfro     int32
+	lost           uint64
 }
 
-// memStore is the default in-memory visited set.
+// keyHash is fnv64a over the canonical key bytes, inlined: hash/fnv's
+// hasher escapes through the hash.Hash64 interface and costs an allocation
+// per fresh insert, and fresh inserts happen once per visited configuration.
+func keyHash(k []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range k {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return h
+}
+
+// intStore is the default visited set: a map keyed by the packed interned
+// key. The canonical bytes are touched only on fresh inserts, to fold the
+// space hash.
+type intStore struct {
+	ids map[intKey]int32
+	xor uint64
+}
+
+func newIntStore() *intStore { return &intStore{ids: make(map[intKey]int32)} }
+
+func (s *intStore) insert(k intKey, canon []byte) (int32, bool, error) {
+	if id, ok := s.ids[k]; ok {
+		return id, false, nil
+	}
+	id := int32(len(s.ids))
+	s.ids[k] = id
+	s.xor ^= keyHash(canon)
+	return id, true, nil
+}
+
+func (s *intStore) len() int     { return len(s.ids) }
+func (s *intStore) hash() uint64 { return s.xor }
+func (s *intStore) close() error { return nil }
+
+// memStore is the legacy in-memory visited set, keyed by the canonical
+// string. Retained behind Config.StringKeys as the reference the packed
+// store is differentially checked against.
 type memStore struct {
 	ids map[string]int32
 	xor uint64
@@ -37,13 +103,14 @@ type memStore struct {
 
 func newMemStore() *memStore { return &memStore{ids: make(map[string]int32)} }
 
-func (s *memStore) insert(k string) (int32, bool, error) {
-	if id, ok := s.ids[k]; ok {
+func (s *memStore) insert(_ intKey, canon []byte) (int32, bool, error) {
+	if id, ok := s.ids[string(canon)]; ok { // no-alloc map probe
 		return id, false, nil
 	}
+	k := string(canon)
 	id := int32(len(s.ids))
 	s.ids[k] = id
-	s.xor ^= keyHash(k)
+	s.xor ^= keyHash(canon)
 	return id, true, nil
 }
 
@@ -51,15 +118,15 @@ func (s *memStore) len() int     { return len(s.ids) }
 func (s *memStore) hash() uint64 { return s.xor }
 func (s *memStore) close() error { return nil }
 
-// diskStore spills the key strings — the dominant memory cost of a large
-// exploration — to an append-only temp file, keeping only a 64-bit hash and
-// a file offset per visited configuration in memory (16 bytes per rec vs a
-// key that can run to kilobytes at high occupancy). The split is keys on
-// disk, ids in memory: dense ids never leave RAM, so the BFS frontier and
-// the parent chain stay pointer-free, while the only disk reads are
-// collision probes. A hash hit is verified by reading the stored key back
-// before it counts as a revisit, so hash collisions cost a read, never a
-// wrong answer. Records are uvarint-length-prefixed key bytes; all access
+// diskStore spills the canonical key bytes — the dominant memory cost of a
+// large exploration — to an append-only temp file, keeping only a 64-bit
+// hash and a file offset per visited configuration in memory (16 bytes per
+// rec vs a key that can run to kilobytes at high occupancy). The split is
+// keys on disk, ids in memory: dense ids never leave RAM, so the BFS
+// frontier and the parent chain stay pointer-free, while the only disk reads
+// are collision probes. A hash hit is verified by reading the stored key
+// back before it counts as a revisit, so hash collisions cost a read, never
+// a wrong answer. Records are uvarint-length-prefixed key bytes; all access
 // is ReadAt/WriteAt, so no buffering layer can serve stale data.
 type diskStore struct {
 	f      *os.File
@@ -90,10 +157,10 @@ func newDiskStore(dir string) (*diskStore, error) {
 	return &diskStore{f: f, byHash: make(map[uint64][]diskRec)}, nil
 }
 
-func (s *diskStore) insert(k string) (int32, bool, error) {
-	h := keyHash(k)
+func (s *diskStore) insert(_ intKey, canon []byte) (int32, bool, error) {
+	h := keyHash(canon)
 	for _, rec := range s.byHash[h] {
-		same, err := s.keyAt(rec.off, k)
+		same, err := s.keyAt(rec.off, canon)
 		if err != nil {
 			return 0, false, err
 		}
@@ -101,8 +168,8 @@ func (s *diskStore) insert(k string) (int32, bool, error) {
 			return rec.id, false, nil
 		}
 	}
-	s.buf = binary.AppendUvarint(s.buf[:0], uint64(len(k)))
-	s.buf = append(s.buf, k...)
+	s.buf = binary.AppendUvarint(s.buf[:0], uint64(len(canon)))
+	s.buf = append(s.buf, canon...)
 	if _, err := s.f.WriteAt(s.buf, s.off); err != nil {
 		return 0, false, fmt.Errorf("verify: spill store: %w", err)
 	}
@@ -116,7 +183,7 @@ func (s *diskStore) insert(k string) (int32, bool, error) {
 
 // keyAt reports whether the record at off holds exactly want. Records of a
 // different length are rejected from the prefix alone, without a second read.
-func (s *diskStore) keyAt(off int64, want string) (bool, error) {
+func (s *diskStore) keyAt(off int64, want []byte) (bool, error) {
 	var lbuf [binary.MaxVarintLen64]byte
 	n, err := s.f.ReadAt(lbuf[:], off)
 	if err != nil && err != io.EOF {
@@ -133,7 +200,7 @@ func (s *diskStore) keyAt(off int64, want string) (bool, error) {
 	if _, err := s.f.ReadAt(kb, off+int64(ln)); err != nil {
 		return false, fmt.Errorf("verify: spill store: %w", err)
 	}
-	return string(kb) == want, nil
+	return string(kb) == string(want), nil
 }
 
 func (s *diskStore) len() int     { return s.n }

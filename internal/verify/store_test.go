@@ -6,42 +6,59 @@ import (
 	"testing"
 )
 
-// TestStoreEquivalence drives both stores through the same key sequence —
-// with plenty of duplicates — and demands identical ids, counts, and
-// canonical hashes.
+// TestStoreEquivalence drives all three stores through the same
+// configuration sequence — with plenty of duplicates — and demands identical
+// ids, counts, and canonical hashes. The packed keys are built the way the
+// explorer builds them (component-injective), so the intStore's packed-key
+// dedup must agree with the byte-key dedup of the other two.
 func TestStoreEquivalence(t *testing.T) {
 	mem := newMemStore()
+	ints := newIntStore()
 	disk, err := newDiskStore(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer disk.close()
 
-	var keys []string
+	type probe struct {
+		k     intKey
+		canon string
+	}
+	var probes []probe
 	for i := 0; i < 200; i++ {
-		keys = append(keys, fmt.Sprintf("tkey-%d|rkey-%d|{}|{}|%d|%d", i%37, i%11, i%5, i%3))
+		tc, rc := uint32(i%37), uint32(i%11)
+		sub, del := int32(i%5), int32(i%3)
+		probes = append(probes, probe{
+			k:     intKey{tc: tc, rc: rc, sub: sub, del: del},
+			canon: fmt.Sprintf("tkey-%d|rkey-%d|{}|{}|%d|%d", tc, rc, sub, del),
+		})
 	}
 	// Re-insert everything a second time: all revisits.
-	keys = append(keys, keys...)
+	probes = append(probes, probes...)
 
-	for i, k := range keys {
-		mid, mfresh, err := mem.insert(k)
+	for i, p := range probes {
+		mid, mfresh, err := mem.insert(p.k, []byte(p.canon))
 		if err != nil {
 			t.Fatal(err)
 		}
-		did, dfresh, err := disk.insert(k)
+		iid, ifresh, err := ints.insert(p.k, []byte(p.canon))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if mid != did || mfresh != dfresh {
-			t.Fatalf("insert %d (%q): mem (%d, %v), disk (%d, %v)", i, k, mid, mfresh, did, dfresh)
+		did, dfresh, err := disk.insert(p.k, []byte(p.canon))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mid != did || mfresh != dfresh || mid != iid || mfresh != ifresh {
+			t.Fatalf("insert %d (%q): mem (%d, %v), int (%d, %v), disk (%d, %v)",
+				i, p.canon, mid, mfresh, iid, ifresh, did, dfresh)
 		}
 	}
-	if mem.len() != disk.len() {
-		t.Fatalf("len: mem %d, disk %d", mem.len(), disk.len())
+	if mem.len() != disk.len() || mem.len() != ints.len() {
+		t.Fatalf("len: mem %d, int %d, disk %d", mem.len(), ints.len(), disk.len())
 	}
-	if mem.hash() != disk.hash() {
-		t.Fatalf("hash: mem %016x, disk %016x", mem.hash(), disk.hash())
+	if mem.hash() != disk.hash() || mem.hash() != ints.hash() {
+		t.Fatalf("hash: mem %016x, int %016x, disk %016x", mem.hash(), ints.hash(), disk.hash())
 	}
 }
 
@@ -76,7 +93,7 @@ func TestDiskStoreLargeKeys(t *testing.T) {
 	wantFresh := []bool{true, true, true, false}
 	wantID := []int32{0, 1, 2, 0}
 	for i, k := range keys {
-		id, fresh, err := disk.insert(k)
+		id, fresh, err := disk.insert(intKey{}, []byte(k))
 		if err != nil {
 			t.Fatal(err)
 		}

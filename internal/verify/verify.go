@@ -40,6 +40,7 @@ import (
 	"strings"
 
 	"repro/internal/channel"
+	"repro/internal/intern"
 	"repro/internal/ioa"
 	"repro/internal/protocol"
 	"repro/internal/stabilize"
@@ -67,6 +68,13 @@ type Config struct {
 	// under this directory instead of holding it in memory ("" = in
 	// memory; "." spills to the current directory's temp space).
 	SpillDir string
+	// StringKeys forces the legacy string-keyed in-memory visited set
+	// instead of the interned packed-key store. The two are
+	// phenotype-identical — same States, Edges, SpaceHash and verdict; the
+	// simdiff harness pins the equivalence — so the flag exists for
+	// differential checking and A/B benchmarks, not correctness. Ignored
+	// when SpillDir is set (spilled keys are stored as strings regardless).
+	StringKeys bool
 	// Pump is how many times a livelock certificate's cycle is pumped in
 	// the emitted witness; <= 0 means 3.
 	Pump int
@@ -243,7 +251,7 @@ func Run(p protocol.Protocol, cfg Config) (*Report, error) {
 		MaxStates:   cfg.MaxStates,
 	}
 
-	e := &explorer{cfg: cfg, proto: p}
+	e := &explorer{cfg: cfg, proto: p, tab: intern.NewLocal(), pkts: newPktIntern()}
 	if cfg.Stabilize {
 		if cfg.MaxMessages > stabilize.MaxLost {
 			return nil, fmt.Errorf("verify: stabilize mode tracks at most %d message positions, got MaxMessages=%d",
@@ -272,15 +280,18 @@ func Run(p protocol.Protocol, cfg Config) (*Report, error) {
 	}
 	rep.POR = e.por
 
-	if cfg.SpillDir != "" {
+	switch {
+	case cfg.SpillDir != "":
 		ds, err := newDiskStore(cfg.SpillDir)
 		if err != nil {
 			return nil, err
 		}
 		e.seen = ds
 		rep.Spilled = true
-	} else {
+	case cfg.StringKeys:
 		e.seen = newMemStore()
+	default:
+		e.seen = newIntStore()
 	}
 	defer func() { _ = e.seen.close() }()
 
@@ -317,8 +328,10 @@ func Run(p protocol.Protocol, cfg Config) (*Report, error) {
 		}
 		s := e.queue[head]
 		e.expand(s)
-		// Release the configuration once its wave has passed; only the
-		// parent edges and counters are needed afterwards.
+		// Recycle the configuration once its wave has passed; only the
+		// parent edges and counters are needed afterwards, so its struct
+		// and channel storage go back to the freelist for cloneOf.
+		e.release(s)
 		e.queue[head] = nil
 	}
 	if e.err != nil {

@@ -37,8 +37,9 @@ func (e *explorer) chain(id int32, last *move) ([]move, int32) {
 	}
 	cur := id
 	for cur >= 0 && e.parents[cur].parent >= 0 {
-		rev = append(rev, e.parents[cur].mv)
-		cur = e.parents[cur].parent
+		pe := e.parents[cur]
+		rev = append(rev, move{kind: pe.kind, pkt: e.pkts.at(pe.pkt)})
+		cur = pe.parent
 	}
 	out := make([]move, 0, len(rev))
 	for i := len(rev) - 1; i >= 0; i-- {
