@@ -8,6 +8,8 @@
 //     small-graph and big-graph regimes.
 //   - fuzz: coverage-guided schedule fuzzing (internal/fuzz), reported as
 //     input executions per second on the altbit specimen.
+//   - analyze: the facts-enabled lint suite over the module's own source
+//     (the CI vet workload), reported as packages analyzed per second.
 //
 // Both engines carry their legacy string-keyed reference implementation
 // behind a flag, and the artifact records A/B rows on identical work —
@@ -35,6 +37,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/analyze"
 	"repro/internal/fuzz"
 	"repro/internal/replay"
 	"repro/internal/verify"
@@ -115,6 +118,10 @@ func run(args []string, out, errw io.Writer) int {
 		// interning win.
 		func() (Benchmark, error) { return benchExec("altbit", *fuzzBudget, false) },
 		func() (Benchmark, error) { return benchExec("altbit", *fuzzBudget, true) },
+		// The facts-enabled lint suite over the whole module — the same work
+		// the CI vet step performs, measured as packages analyzed per second
+		// (load + type-check + seven analyzers + in-memory facts channel).
+		benchLint,
 	}
 	for _, step := range steps {
 		b, err := step()
@@ -232,6 +239,32 @@ func benchExec(name string, budget int64, interned bool) (Benchmark, error) {
 		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
 		Rate:      rate(budget, elapsed),
 		Detail:    fmt.Sprintf("corpus=%d", len(corpus)),
+	}, nil
+}
+
+// benchLint times the in-process analysis pipeline end to end: resolve and
+// type-check every module package, then run the full analyzer suite in
+// dependency order with the facts channel on. The workload is the module's
+// own source, so Work (packages) is fixed for a given tree.
+func benchLint() (Benchmark, error) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return Benchmark{}, err
+	}
+	start := time.Now()
+	pkgs, err := analyze.LoadPackages(wd, "./...")
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("lint: %w", err)
+	}
+	res := analyze.AnalyzeModule(analyze.Analyzers(), pkgs, true)
+	elapsed := time.Since(start)
+	return Benchmark{
+		Name:      "analyze/lint",
+		Metric:    "packages",
+		Work:      int64(len(pkgs)),
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+		Rate:      rate(int64(len(pkgs)), elapsed),
+		Detail:    fmt.Sprintf("findings=%d allowed=%d", len(res.Diags), len(res.Suppressed)),
 	}, nil
 }
 

@@ -10,9 +10,9 @@ import (
 )
 
 // TestRunWritesArtifact drives the command with tiny budgets and checks the
-// JSON artifact's shape: all seven workloads present (including the
-// interned-vs-string A/B rows), positive work and rates, and the label
-// threaded through.
+// JSON artifact's shape: all eight workloads present (including the
+// interned-vs-string A/B rows and the lint-throughput row), positive work
+// and rates, and the label threaded through.
 func TestRunWritesArtifact(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	var out, errw bytes.Buffer
@@ -38,6 +38,7 @@ func TestRunWritesArtifact(t *testing.T) {
 		"verify/seqnum", "verify/cntexp", "verify/cntexp-stringkeys",
 		"verify/stabdl2-stabilize", "fuzz/altbit",
 		"fuzzexec/altbit-string", "fuzzexec/altbit-interned",
+		"analyze/lint",
 	}
 	if len(art.Benchmarks) != len(want) {
 		t.Fatalf("got %d benchmarks, want %d", len(art.Benchmarks), len(want))

@@ -1,9 +1,12 @@
 // Command nfvet is the repo's determinism lint suite and static boundness
 // auditor.
 //
-// As a vet tool it speaks the `go vet -vettool` protocol, running the four
-// determinism analyzers (wallclock, globalrand, maprange, statekey) over
-// every compilation unit, test files included:
+// As a vet tool it speaks the `go vet -vettool` protocol, running the seven
+// analyzers (wallclock, globalrand, maprange, statekey, nextpkt,
+// internlocal, freelist) over every compilation unit, test files included.
+// Facts ride the protocol's vetx channel: each unit exports purity verdicts
+// for its exported functions and reads its dependencies' verdicts back, so
+// the statekey lint proves purity module-wide, across package boundaries:
 //
 //	go build -o bin/nfvet ./cmd/nfvet
 //	go vet -vettool=$PWD/bin/nfvet ./...
@@ -11,7 +14,11 @@
 // Standalone subcommands:
 //
 //	nfvet check [packages]   lint the packages (non-test files) directly,
-//	                         without the go vet driver
+//	                         without the go vet driver; packages are
+//	                         analyzed in dependency order with an in-memory
+//	                         facts channel (-nofacts for package-local
+//	                         precision, -json for machine-readable
+//	                         diagnostics including suppressed allows)
 //	nfvet audit -all         audit every registered protocol's boundness,
 //	                         including the adapted transport endpoints
 //	nfvet audit altbit cntk4 audit specific protocols (replay names work:
@@ -43,10 +50,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/analyze"
@@ -87,7 +96,7 @@ func run(args []string, out, errw io.Writer) int {
 
 func usage(w io.Writer) {
 	fmt.Fprint(w, `usage:
-  nfvet check [packages]                      lint packages (default ./...)
+  nfvet check [-json] [-nofacts] [packages]   lint packages (default ./...)
   nfvet audit [-all | names...] [options]     audit protocol boundness
   nfvet verify [-all | names...] [options]    prove DL-safety up to bounds,
                                               or emit a replayable witness
@@ -98,10 +107,49 @@ func usage(w io.Writer) {
 `)
 }
 
+// jsonDiag is the machine-readable rendering of one finding, active or
+// //nfvet:allow-suppressed, for CI annotation.
+type jsonDiag struct {
+	File        string `json:"file"`
+	Line        int    `json:"line"`
+	Col         int    `json:"col"`
+	Analyzer    string `json:"analyzer"`
+	Message     string `json:"message"`
+	Allowed     bool   `json:"allowed"`
+	AllowReason string `json:"allowReason,omitempty"`
+}
+
+func toJSONDiags(ds []analyze.Diagnostic) []jsonDiag {
+	out := make([]jsonDiag, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, jsonDiag{
+			File:        d.Pos.Filename,
+			Line:        d.Pos.Line,
+			Col:         d.Pos.Column,
+			Analyzer:    d.Analyzer,
+			Message:     d.Message,
+			Allowed:     d.Allowed,
+			AllowReason: d.AllowReason,
+		})
+	}
+	return out
+}
+
 // runCheck lints the named packages (default ./...) with the standalone
-// loader. The go vet driver covers test files too; check is the quick path.
+// loader, in dependency order with the in-memory facts channel. The go vet
+// driver covers test files too; check is the quick path. Exit status is
+// nonzero iff there are active (non-allowed) findings, JSON mode included.
 func runCheck(args []string, out, errw io.Writer) int {
-	patterns := args
+	fs := flag.NewFlagSet("nfvet check", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		jsonOut = fs.Bool("json", false, "emit machine-readable JSON diagnostics, //nfvet:allow-suppressed findings included")
+		noFacts = fs.Bool("nofacts", false, "disable the cross-package facts channel (package-local precision)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -115,15 +163,35 @@ func runCheck(args []string, out, errw io.Writer) int {
 		fmt.Fprintln(errw, "nfvet:", err)
 		return 2
 	}
-	findings := 0
-	for _, p := range pkgs {
-		for _, d := range analyze.RunAnalyzers(analyze.Analyzers(), p.Fset, p.Files, p.Pkg, p.Info) {
+	res := analyze.AnalyzeModule(analyze.Analyzers(), pkgs, !*noFacts)
+	if *jsonOut {
+		all := toJSONDiags(append(append([]analyze.Diagnostic(nil), res.Diags...), res.Suppressed...))
+		sort.Slice(all, func(i, j int) bool {
+			a, b := all[i], all[j]
+			if a.File != b.File {
+				return a.File < b.File
+			}
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			if a.Col != b.Col {
+				return a.Col < b.Col
+			}
+			return a.Analyzer < b.Analyzer
+		})
+		data, err := json.MarshalIndent(all, "", "  ")
+		if err != nil {
+			fmt.Fprintln(errw, "nfvet:", err)
+			return 2
+		}
+		fmt.Fprintln(out, string(data))
+	} else {
+		for _, d := range res.Diags {
 			fmt.Fprintln(out, d)
-			findings++
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(errw, "nfvet: %d finding(s)\n", findings)
+	if len(res.Diags) > 0 {
+		fmt.Fprintf(errw, "nfvet: %d finding(s)\n", len(res.Diags))
 		return 1
 	}
 	return 0
@@ -144,8 +212,13 @@ func runAudit(args []string, out, errw io.Writer) int {
 		maxOcc    = fs.Int("maxocc", 4, "largest occupancy cap swept (with -sweep)")
 		swsweep   = fs.Bool("swsweep", false, "emit the transport (S, W) grid as a k_t/k_r-vs-S*W TSV table")
 		maxS      = fs.Int("maxs", 8, "largest sequence space audited (with -swsweep)")
+		jsonOut   = fs.Bool("json", false, "print machine-readable JSON reports instead of text (verdict reports only)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && (*sweep || *swsweep) {
+		fmt.Fprintln(errw, "nfvet audit: -json applies to verdict reports, not the TSV sweeps")
 		return 2
 	}
 	if *swsweep {
@@ -181,11 +254,20 @@ func runAudit(args []string, out, errw io.Writer) int {
 	cfg := analyze.AuditConfig{Occupancy: *occupancy, MaxStates: *maxStates}
 	failed := 0
 	for i, p := range ps {
-		if i > 0 {
-			fmt.Fprintln(out)
-		}
 		rep := analyze.Audit(p, cfg)
-		fmt.Fprint(out, rep)
+		if *jsonOut {
+			data, err := rep.JSON()
+			if err != nil {
+				fmt.Fprintln(errw, "nfvet audit:", err)
+				return 2
+			}
+			fmt.Fprintln(out, string(data))
+		} else {
+			if i > 0 {
+				fmt.Fprintln(out)
+			}
+			fmt.Fprint(out, rep)
+		}
 		if rep.Verdict == analyze.VerdictFail {
 			failed++
 		}

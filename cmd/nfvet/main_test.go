@@ -31,7 +31,10 @@ func TestHelpListsAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("help exited %d", code)
 	}
-	for _, name := range []string{"wallclock:", "globalrand:", "maprange:", "statekey:"} {
+	for _, name := range []string{
+		"wallclock:", "globalrand:", "maprange:", "statekey:",
+		"nextpkt:", "internlocal:", "freelist:",
+	} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("help output lacks %s", name)
 		}
@@ -267,6 +270,94 @@ func TestAuditUnknownProtocol(t *testing.T) {
 	}
 }
 
+func TestAuditJSONReport(t *testing.T) {
+	code, stdout, stderr := runCmd(t, "audit", "-json", "altbit")
+	if code != 0 {
+		t.Fatalf("audit -json exited %d: %s", code, stderr)
+	}
+	var rep struct {
+		Protocol  string `json:"protocol"`
+		Verdict   string `json:"verdict"`
+		KT        int    `json:"kt"`
+		KR        int    `json:"kr"`
+		Exhausted bool   `json:"exhausted"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, stdout)
+	}
+	if rep.Protocol != "altbit" || rep.Verdict != "CERTIFIED" || rep.KT != 4 || rep.KR != 2 || !rep.Exhausted {
+		t.Fatalf("JSON report fields drifted: %+v", rep)
+	}
+}
+
+func TestAuditJSONRejectsSweeps(t *testing.T) {
+	code, _, stderr := runCmd(t, "audit", "-json", "-sweep", "altbit")
+	if code != 2 || !strings.Contains(stderr, "-json applies to verdict reports") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+// vetmodPath is the checked-in two-package facts fixture module under
+// internal/analyze/testdata.
+func vetmodPath(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(wd, "..", "..", "internal", "analyze", "testdata", "vetmod")
+}
+
+// TestCheckJSONFactsFixture drives the standalone loader end to end over the
+// facts fixture: the cross-package statekey finding appears in -json output
+// with facts on, and vanishes with -nofacts.
+func TestCheckJSONFactsFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped in -short")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(vetmodPath(t)); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	code, stdout, stderr := runCmd(t, "check", "-json", "./...")
+	if code != 1 {
+		t.Fatalf("check -json exited %d, want 1: %s%s", code, stdout, stderr)
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+		Allowed  bool   `json:"allowed"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("check -json output is not valid JSON: %v\n%s", err, stdout)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %+v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "statekey" || d.Allowed ||
+		!strings.Contains(d.Message, "StateKey calls helper.Render") ||
+		!strings.HasSuffix(d.File, "keys.go") || d.Line == 0 {
+		t.Fatalf("unexpected diagnostic: %+v", d)
+	}
+
+	code, stdout, stderr = runCmd(t, "check", "-nofacts", "./...")
+	if code != 0 {
+		t.Fatalf("check -nofacts exited %d, want 0 (the finding needs the facts channel): %s%s", code, stdout, stderr)
+	}
+}
+
 func TestCheckCleanPackage(t *testing.T) {
 	if testing.Short() {
 		t.Skip("shells out to go list; skipped in -short")
@@ -324,6 +415,32 @@ func main() {
 	}
 	if !strings.Contains(string(out), "rand.Intn uses the process-global source") {
 		t.Fatalf("vet output lacks the expected finding:\n%s", out)
+	}
+}
+
+// TestGoVetFactsIntegration drives the facts fixture through the real
+// cmd/go vet driver: cmd/go runs the helper unit VetxOnly, feeds its vetx to
+// the keys unit via PackageVetx, and the cross-package statekey finding must
+// surface in the vet output.
+func TestGoVetFactsIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and runs go vet; skipped in -short")
+	}
+	tool := filepath.Join(t.TempDir(), "nfvet")
+	build := exec.Command("go", "build", "-o", tool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building nfvet: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = vetmodPath(t)
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed the facts fixture; the vetx channel regressed to empty:\n%s", out)
+	}
+	if !strings.Contains(string(out), "StateKey calls helper.Render") ||
+		!strings.Contains(string(out), "fmt.Sprint") {
+		t.Fatalf("vet output lacks the cross-package chain:\n%s", out)
 	}
 }
 

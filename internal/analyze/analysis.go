@@ -1,19 +1,27 @@
 // Package analyze is the repo's correctness-tooling layer: a determinism
 // lint suite and a static boundness auditor.
 //
-// Part A (this file, the four lint*.go files, unitchecker.go, load.go) is a
-// small go/analysis-style framework built on the standard library alone —
-// the build environment has no golang.org/x/tools, so the Analyzer/Pass
-// shapes and the `go vet -vettool` separate-compilation protocol are
-// reimplemented here on go/ast + go/types + go/importer. The four analyzers
-// mechanically guard the invariants the whole verification stack (replay,
-// fuzzing, livelock certification) silently assumes:
+// Part A (this file, the lint_*.go files, facts.go, unitchecker.go,
+// load.go) is a small go/analysis-style framework built on the standard
+// library alone — the build environment has no golang.org/x/tools, so the
+// Analyzer/Pass shapes, the `go vet -vettool` separate-compilation
+// protocol, and the cross-package facts channel (gob-encoded .vetx files
+// flowing along import edges; see facts.go) are reimplemented here on
+// go/ast + go/types + go/importer. The seven analyzers mechanically guard
+// the invariants the whole verification stack (replay, fuzzing, livelock
+// certification) silently assumes:
 //
-//	wallclock  — no ambient time reads in deterministic packages
-//	globalrand — no global math/rand state, no constant seeds
-//	maprange   — no map-order-dependent iteration on determinism-critical
-//	             paths (hashing, serialization, coverage, state keys)
-//	statekey   — StateKey/ControlKey implementations stay pure and cheap
+//	wallclock   — no ambient time reads in deterministic packages
+//	globalrand  — no global math/rand state, no constant seeds
+//	maprange    — no map-order-dependent iteration on determinism-critical
+//	              paths (hashing, serialization, coverage, state keys)
+//	statekey    — StateKey/ControlKey implementations stay pure and cheap,
+//	              across package boundaries via purity facts
+//	nextpkt     — NextPkt must not mutate state on paths returning ok=false
+//	internlocal — intern.Local (single-goroutine by contract) must not
+//	              escape to other goroutines
+//	freelist    — no use-after-release of pooled configurations in
+//	              internal/verify
 //
 // Part B (audit.go) is the static protocol auditor: it exhaustively
 // enumerates the joint control states (q_t, q_r) reachable by a registered
@@ -50,7 +58,13 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	// Facts is the cross-package channel (facts.go): nil when the driver
+	// runs without facts, in which case analyzers degrade to their
+	// package-local behavior.
+	Facts *FactStore
+
 	diagnostics []Diagnostic
+	suppressed  []Diagnostic
 	allow       allowIndex
 }
 
@@ -59,24 +73,35 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+
+	// Allowed marks a finding suppressed by an //nfvet:allow directive;
+	// AllowReason carries the directive's parenthesized justification.
+	// Suppressed findings are excluded from exit-status decisions but
+	// surfaced by `nfvet check -json` so CI can audit the proof obligations.
+	Allowed     bool
+	AllowReason string
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
 }
 
-// Report records a diagnostic unless the offending line (or the line above
-// it) carries an //nfvet:allow directive naming this analyzer.
+// Report records a diagnostic. If the offending line (or the line above it)
+// carries an //nfvet:allow directive naming this analyzer, the finding is
+// recorded as suppressed instead.
 func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if p.allow.allowed(p.Analyzer.Name, position) {
-		return
-	}
-	p.diagnostics = append(p.diagnostics, Diagnostic{
+	d := Diagnostic{
 		Pos:      position,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
-	})
+	}
+	if reason, ok := p.allow.allowed(p.Analyzer.Name, position); ok {
+		d.Allowed, d.AllowReason = true, reason
+		p.suppressed = append(p.suppressed, d)
+		return
+	}
+	p.diagnostics = append(p.diagnostics, d)
 }
 
 // allowIndex records, per file and line, the analyzers suppressed by
@@ -87,7 +112,14 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 //
 //	//nfvet:allow maprange (keys are sorted before use)
 //	for k := range src {
-type allowIndex map[string]map[int][]string
+type allowIndex map[string]map[int][]allowEntry
+
+// allowEntry is one parsed directive: the analyzer it suppresses and the
+// parenthesized reason text, e.g. "order-insensitive copy".
+type allowEntry struct {
+	name   string
+	reason string
+}
 
 const allowPrefix = "//nfvet:allow "
 
@@ -100,53 +132,67 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 				if !ok {
 					continue
 				}
-				name, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				name, rest, _ := strings.Cut(strings.TrimSpace(rest), " ")
 				if name == "" {
 					continue
 				}
+				reason := strings.TrimSpace(rest)
+				reason = strings.TrimSuffix(strings.TrimPrefix(reason, "("), ")")
 				pos := fset.Position(c.Slash)
 				byLine := idx[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int][]string)
+					byLine = make(map[int][]allowEntry)
 					idx[pos.Filename] = byLine
 				}
-				byLine[pos.Line] = append(byLine[pos.Line], name)
+				byLine[pos.Line] = append(byLine[pos.Line], allowEntry{name: name, reason: reason})
 			}
 		}
 	}
 	return idx
 }
 
-func (a allowIndex) allowed(analyzer string, pos token.Position) bool {
+func (a allowIndex) allowed(analyzer string, pos token.Position) (string, bool) {
 	byLine := a[pos.Filename]
 	if byLine == nil {
-		return false
+		return "", false
 	}
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range byLine[line] {
-			if name == analyzer {
-				return true
+		for _, e := range byLine[line] {
+			if e.name == analyzer {
+				return e.reason, true
 			}
 		}
 	}
-	return false
+	return "", false
 }
 
-// Analyzers returns the full determinism lint suite in registration order.
+// Analyzers returns the full lint suite in registration order: the four
+// determinism lints plus the three concurrency/lifetime-hazard lints.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		WallclockAnalyzer(),
 		GlobalRandAnalyzer(),
 		MapRangeAnalyzer(),
 		StateKeyAnalyzer(),
+		NextPktAnalyzer(),
+		InternLocalAnalyzer(),
+		FreelistAnalyzer(),
 	}
 }
 
-// RunAnalyzers executes the given analyzers over one type-checked package
-// and returns the diagnostics sorted by position.
-func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []Diagnostic {
+// UnitResult is one unit's analysis outcome: the active findings and the
+// findings suppressed by //nfvet:allow directives, both sorted by position.
+type UnitResult struct {
+	Diags      []Diagnostic
+	Suppressed []Diagnostic
+}
+
+// RunUnit executes the given analyzers over one type-checked package. facts
+// may be nil (facts-free mode); with a non-nil store, fact-aware analyzers
+// read dependency facts from it and record the unit's exported facts into it.
+func RunUnit(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *FactStore) UnitResult {
 	allow := buildAllowIndex(fset, files)
-	var out []Diagnostic
+	var res UnitResult
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer: a,
@@ -154,11 +200,25 @@ func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
 			Files:    files,
 			Pkg:      pkg,
 			Info:     info,
+			Facts:    facts,
 			allow:    allow,
 		}
 		a.Run(pass)
-		out = append(out, pass.diagnostics...)
+		res.Diags = append(res.Diags, pass.diagnostics...)
+		res.Suppressed = append(res.Suppressed, pass.suppressed...)
 	}
+	sortDiags(res.Diags)
+	sortDiags(res.Suppressed)
+	return res
+}
+
+// RunAnalyzers executes the given analyzers without facts and returns the
+// active diagnostics; the facts-aware entry point is RunUnit.
+func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []Diagnostic {
+	return RunUnit(analyzers, fset, files, pkg, info, nil).Diags
+}
+
+func sortDiags(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -172,7 +232,6 @@ func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out
 }
 
 // deterministicPackages is the set of packages whose execution must be

@@ -1,6 +1,7 @@
 package analyze
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -365,6 +366,43 @@ func judge(rep *AuditReport, p protocol.Protocol) {
 	default:
 		rep.Verdict = VerdictConsistent
 	}
+}
+
+// JSON renders the report as a machine-readable artifact, the audit
+// counterpart of verify.Report.JSON.
+func (r *AuditReport) JSON() ([]byte, error) {
+	payload := struct {
+		Protocol      string           `json:"protocol"`
+		Occupancy     int              `json:"occupancy"`
+		MaxStates     int              `json:"maxStates"`
+		States        int              `json:"states"`
+		Exhausted     bool             `json:"exhausted"`
+		KT            int              `json:"kt"`
+		KR            int              `json:"kr"`
+		Headers       []string         `json:"headers,omitempty"`
+		PumpingBound  int              `json:"pumpingBound,omitempty"`
+		Declared      *protocol.Bounds `json:"declared,omitempty"`
+		Verdict       Verdict          `json:"verdict"`
+		Failures      []string         `json:"failures,omitempty"`
+		HeaderBound   int              `json:"headerBound,omitempty"`
+		HeaderBounded bool             `json:"headerBounded,omitempty"`
+	}{
+		Protocol:      r.Protocol,
+		Occupancy:     r.Occupancy,
+		MaxStates:     r.MaxStates,
+		States:        r.States,
+		Exhausted:     r.Exhausted,
+		KT:            r.KT,
+		KR:            r.KR,
+		Headers:       r.Headers,
+		PumpingBound:  r.PumpingBound,
+		Declared:      r.Declared,
+		Verdict:       r.Verdict,
+		Failures:      r.Failures,
+		HeaderBound:   r.HeaderBound,
+		HeaderBounded: r.HeaderBd,
+	}
+	return json.MarshalIndent(payload, "", "  ")
 }
 
 // String renders the report in the fixed layout the golden tests pin down.

@@ -15,7 +15,7 @@ import (
 // The fixture harness is an analysistest workalike on the stdlib: each
 // directory under testdata/src is parsed and type-checked under a pretend
 // import path (so the package-scoped analyzers see the scope the fixture
-// exercises), all four analyzers run, and the diagnostics are matched
+// exercises), all seven analyzers run, and the diagnostics are matched
 // line-by-line against `// want "substring"` comments. Every diagnostic must
 // be wanted and every want must be diagnosed.
 
@@ -31,7 +31,8 @@ func stdExports(t *testing.T) map[string]string {
 	t.Helper()
 	fixtureExports.once.Do(func() {
 		fixtureExports.m, fixtureExports.err = ExportMap(moduleRoot(t),
-			"fmt", "math/rand", "sort", "strconv", "strings", "testing", "time")
+			"fmt", "math/rand", "sort", "strconv", "strings", "testing", "time",
+			"repro/internal/intern")
 	})
 	if fixtureExports.err != nil {
 		t.Fatalf("resolving std export data: %v", fixtureExports.err)
@@ -157,4 +158,16 @@ func TestMapRangeOutOfScopeFixture(t *testing.T) {
 
 func TestStateKeyFixture(t *testing.T) {
 	runFixture(t, "statekey", "fixture/internal/keys")
+}
+
+func TestNextPktFixture(t *testing.T) {
+	runFixture(t, "nextpkt", "fixture/internal/transport")
+}
+
+func TestInternLocalFixture(t *testing.T) {
+	runFixture(t, "internlocal", "fixture/internal/fuzz")
+}
+
+func TestFreelistFixture(t *testing.T) {
+	runFixture(t, "freelist", "fixture/internal/verify")
 }

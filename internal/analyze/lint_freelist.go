@@ -1,0 +1,365 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FreelistAnalyzer does local use-after-release dataflow in internal/verify.
+// The explorer recycles Config allocations through a freelist: release(cfg)
+// nils the endpoint pointers and pushes cfg onto e.free, and the next clone
+// call may hand the same backing object out again. Reading cfg after
+// release(cfg) is therefore a read of arbitrarily-recycled memory — the
+// worst kind of nondeterminism for a tool whose outputs are byte-compared.
+// The scan is path-sensitive in the same conservative style as the nextpkt
+// analyzer: walking each function body in order, it tracks which local
+// variables have been released on some path to the current point, and flags
+// any subsequent read (or field write, or double release) of such a variable
+// before it is wholesale-reassigned.
+func FreelistAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "freelist",
+		Doc: "internal/verify freelist hygiene: after release(cfg) the object " +
+			"may be recycled by the next clone — no read, field write, or " +
+			"second release of cfg may follow on that path until cfg is " +
+			"reassigned",
+		Run: runFreelist,
+	}
+}
+
+func runFreelist(pass *Pass) {
+	if !inPackageSet(pass.Pkg.Path(), []string{"internal/verify"}) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			s := &flScan{pass: pass, reported: make(map[token.Pos]bool)}
+			s.scanList(fd.Body.List, nil, flCtx{})
+		}
+	}
+}
+
+// flState maps a released local variable to the position of its release.
+// States are treated as immutable values: every mutation copies.
+type flState map[*types.Var]token.Pos
+
+func (st flState) clone() flState {
+	out := make(flState, len(st))
+	for v, p := range st {
+		out[v] = p
+	}
+	return out
+}
+
+func flUnion(a flState, bs ...flState) flState {
+	out := a.clone()
+	for _, b := range bs {
+		for v, p := range b {
+			if _, ok := out[v]; !ok {
+				out[v] = p
+			}
+		}
+	}
+	return out
+}
+
+type flTarget struct {
+	state flState
+	hit   bool
+}
+
+func (t *flTarget) add(st flState) {
+	if t == nil {
+		return
+	}
+	t.hit = true
+	t.state = flUnion(t.state, st)
+}
+
+type flCtx struct {
+	cont *flTarget
+	brk  *flTarget
+}
+
+type flScan struct {
+	pass     *Pass
+	reported map[token.Pos]bool
+}
+
+func (s *flScan) scanList(stmts []ast.Stmt, st flState, ctx flCtx) (flState, bool) {
+	for _, stmt := range stmts {
+		var term bool
+		st, term = s.scanStmt(stmt, st, ctx)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (s *flScan) scanStmt(stmt ast.Stmt, st flState, ctx flCtx) (flState, bool) {
+	switch stmt := stmt.(type) {
+	case *ast.ReturnStmt:
+		for _, r := range stmt.Results {
+			s.checkUses(r, st)
+		}
+		// Control leaves the function: no released state flows to any
+		// fall-through successor.
+		return nil, true
+
+	case *ast.ExprStmt:
+		if v, pos, ok := s.releaseCall(stmt.X); ok {
+			if _, released := st[v]; released {
+				s.report(pos, "releases %s twice; the first release already queued it for recycling", v.Name())
+			}
+			st = st.clone()
+			st[v] = pos
+			return st, false
+		}
+		s.checkUses(stmt.X, st)
+		return st, false
+
+	case *ast.AssignStmt:
+		for _, rhs := range stmt.Rhs {
+			s.checkUses(rhs, st)
+		}
+		for _, lhs := range stmt.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				// Wholesale reassignment revives the variable.
+				var obj types.Object = s.pass.Info.Defs[id]
+				if obj == nil {
+					obj = s.pass.Info.Uses[id]
+				}
+				if v, ok := obj.(*types.Var); ok {
+					if _, released := st[v]; released {
+						st = st.clone()
+						delete(st, v)
+					}
+				}
+				continue
+			}
+			// x.f = v or x[i] = v is a write through a released object.
+			s.checkUses(lhs, st)
+		}
+		return st, false
+
+	case *ast.IncDecStmt:
+		s.checkUses(stmt.X, st)
+		return st, false
+
+	case *ast.DeclStmt:
+		if gd, ok := stmt.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.checkUses(v, st)
+					}
+				}
+			}
+		}
+		return st, false
+
+	case *ast.SendStmt:
+		s.checkUses(stmt.Chan, st)
+		s.checkUses(stmt.Value, st)
+		return st, false
+
+	case *ast.GoStmt:
+		s.checkUses(stmt.Call, st)
+		return st, false
+
+	case *ast.DeferStmt:
+		s.checkUses(stmt.Call, st)
+		return st, false
+
+	case *ast.LabeledStmt:
+		return s.scanStmt(stmt.Stmt, st, ctx)
+
+	case *ast.BlockStmt:
+		return s.scanList(stmt.List, st, ctx)
+
+	case *ast.IfStmt:
+		if stmt.Init != nil {
+			st, _ = s.scanStmt(stmt.Init, st, ctx)
+		}
+		s.checkUses(stmt.Cond, st)
+		bodySt, bodyTerm := s.scanList(stmt.Body.List, st, ctx)
+		out := st
+		elseTerm := false
+		if stmt.Else != nil {
+			es, et := s.scanStmt(stmt.Else, st, ctx)
+			elseTerm = et
+			if !et {
+				out = flUnion(out, es)
+			}
+		}
+		if !bodyTerm {
+			out = flUnion(out, bodySt)
+		}
+		return out, bodyTerm && elseTerm && stmt.Else != nil
+
+	case *ast.ForStmt:
+		if stmt.Init != nil {
+			st, _ = s.scanStmt(stmt.Init, st, ctx)
+		}
+		s.checkUses(stmt.Cond, st)
+		return s.scanLoop(stmt.Body.List, stmt.Post, st), false
+
+	case *ast.RangeStmt:
+		s.checkUses(stmt.X, st)
+		return s.scanLoop(stmt.Body.List, nil, st), false
+
+	case *ast.BranchStmt:
+		switch stmt.Tok {
+		case token.CONTINUE:
+			ctx.cont.add(st)
+			return nil, true
+		case token.BREAK:
+			ctx.brk.add(st)
+			return nil, true
+		default:
+			return st, false
+		}
+
+	case *ast.SwitchStmt:
+		if stmt.Init != nil {
+			st, _ = s.scanStmt(stmt.Init, st, ctx)
+		}
+		s.checkUses(stmt.Tag, st)
+		return s.scanClauses(stmt.Body.List, st, ctx)
+
+	case *ast.TypeSwitchStmt:
+		if stmt.Init != nil {
+			st, _ = s.scanStmt(stmt.Init, st, ctx)
+		}
+		return s.scanClauses(stmt.Body.List, st, ctx)
+
+	case *ast.SelectStmt:
+		return s.scanClauses(stmt.Body.List, st, ctx)
+
+	default:
+		return st, false
+	}
+}
+
+// scanLoop mirrors npScan.scanLoop: two passes so a release late in the body
+// is seen by a read early in the next iteration; reports dedup by position.
+func (s *flScan) scanLoop(body []ast.Stmt, post ast.Stmt, st flState) flState {
+	var cont1, brk1 flTarget
+	p1, _ := s.scanList(body, st, flCtx{cont: &cont1, brk: &brk1})
+	if post != nil {
+		p1, _ = s.scanStmt(post, p1, flCtx{})
+	}
+	carried := flUnion(st, p1, cont1.state)
+	var cont2, brk2 flTarget
+	p2, _ := s.scanList(body, carried, flCtx{cont: &cont2, brk: &brk2})
+	return flUnion(st, p2, cont2.state, brk2.state)
+}
+
+func (s *flScan) scanClauses(clauses []ast.Stmt, st flState, ctx flCtx) (flState, bool) {
+	var brk flTarget
+	inner := flCtx{cont: ctx.cont, brk: &brk}
+	out := flState(nil)
+	allTerm := true
+	hasDefault := false
+	for _, cl := range clauses {
+		var body []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				s.checkUses(e, st)
+			}
+			if cl.List == nil {
+				hasDefault = true
+			}
+			body = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				st, _ = s.scanStmt(cl.Comm, st, inner)
+			}
+			body = cl.Body
+		default:
+			continue
+		}
+		cs, ct := s.scanList(body, st, inner)
+		if !ct {
+			out = flUnion(out, cs)
+		}
+		allTerm = allTerm && ct
+	}
+	out = flUnion(out, brk.state)
+	if !hasDefault {
+		out = flUnion(out, st)
+	}
+	return out, allTerm && hasDefault && !brk.hit
+}
+
+// releaseCall matches `release(x)` or `recv.release(x)` where the callee is
+// declared in the package under analysis and x is a plain local identifier.
+func (s *flScan) releaseCall(e ast.Expr) (*types.Var, token.Pos, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil, token.NoPos, false
+	}
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil, token.NoPos, false
+	}
+	if id.Name != "release" {
+		return nil, token.NoPos, false
+	}
+	fn, ok := s.pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg() != s.pass.Pkg {
+		return nil, token.NoPos, false
+	}
+	arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil, token.NoPos, false
+	}
+	v, ok := s.pass.Info.Uses[arg].(*types.Var)
+	if !ok || v.IsField() {
+		return nil, token.NoPos, false
+	}
+	return v, call.Pos(), true
+}
+
+// checkUses reports every read of a released variable under expr.
+func (s *flScan) checkUses(expr ast.Expr, st flState) {
+	if expr == nil || len(st) == 0 {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := s.pass.Info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if _, released := st[v]; released {
+			s.report(id.Pos(), "reads %s after release(%s); the freelist may already have recycled it — move the release after the last read", id.Name, id.Name)
+		}
+		return true
+	})
+}
+
+func (s *flScan) report(pos token.Pos, format string, args ...any) {
+	if s.reported[pos] {
+		return
+	}
+	s.reported[pos] = true
+	s.pass.Report(pos, format, args...)
+}

@@ -1,0 +1,510 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// NextPktAnalyzer statically proves the idle-purity half of the NextPkt
+// contract: a NextPkt call that returns ok=false must leave the endpoint
+// and package state untouched. PR 8's runner-version adjacency cache skips
+// re-attempting operations whose enabling state has not changed, which is
+// sound only if unproductive NextPkt calls are side-effect free; until now
+// the sole guard was the runtime TestContractIdleNextPktPure over the
+// registry. This analyzer demotes that test to belt-and-suspenders by
+// checking every NextPkt body (registered or not) at compile time.
+//
+// The proof is a conservative path scan, not a full CFG: walking the body
+// in order, it tracks the set of mutations (receiver-rooted or package-var
+// assignments, calls that may mutate through the receiver) that may have
+// executed when control reaches each `return`, and reports any mutation
+// that can flow into a return whose ok result is not provably true.
+// Mutations on paths that definitely return ok=true (the productive arm)
+// are fine — receivers are expected to pop their ack queues. A body that
+// delegates wholesale (`return inner.NextPkt()`) is skipped: the callee is
+// checked where it is declared.
+func NextPktAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "nextpkt",
+		Doc: "NextPkt bodies must be idle-pure: no receiver or package-state " +
+			"mutation may reach a `return _, false` — the runner-version " +
+			"adjacency cache and pooled-runner reuse assume unproductive " +
+			"NextPkt calls leave the state key unchanged",
+		Run: runNextPkt,
+	}
+}
+
+func runNextPkt(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != "NextPkt" || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig, ok := obj.Type().(*types.Signature)
+			if !ok || sig.Results().Len() != 2 {
+				continue
+			}
+			if b, ok := sig.Results().At(1).Type().Underlying().(*types.Basic); !ok || b.Kind() != types.Bool {
+				continue
+			}
+			s := &npScan{pass: pass, reported: make(map[token.Pos]bool)}
+			if len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				s.recv = pass.Info.Defs[fd.Recv.List[0].Names[0]]
+			}
+			s.scanList(fd.Body.List, nil, npCtx{})
+		}
+	}
+}
+
+// npMutation is one potential state mutation with its site and description.
+type npMutation struct {
+	pos  token.Pos
+	desc string
+}
+
+// npTarget collects the pending-mutation sets carried to a branch target
+// (loop back-edge, loop exit, or statement after a switch).
+type npTarget struct {
+	muts []npMutation
+	hit  bool
+}
+
+// npCtx holds the innermost branch targets during the scan.
+type npCtx struct {
+	cont *npTarget // continue: loop back-edge
+	brk  *npTarget // break: after the innermost for/range/switch/select
+}
+
+type npScan struct {
+	pass     *Pass
+	recv     types.Object
+	reported map[token.Pos]bool
+}
+
+// scanList walks stmts in order. pending is the set of mutations that may
+// have executed when control reaches the current statement. It returns the
+// pending set at normal fall-through and whether the list always leaves via
+// return (never falls through).
+func (s *npScan) scanList(stmts []ast.Stmt, pending []npMutation, ctx npCtx) ([]npMutation, bool) {
+	for _, st := range stmts {
+		var term bool
+		pending, term = s.scanStmt(st, pending, ctx)
+		if term {
+			return pending, true
+		}
+	}
+	return pending, false
+}
+
+func unionMuts(a []npMutation, bs ...[]npMutation) []npMutation {
+	seen := make(map[token.Pos]bool, len(a))
+	out := append([]npMutation(nil), a...)
+	for _, m := range a {
+		seen[m.pos] = true
+	}
+	for _, b := range bs {
+		for _, m := range b {
+			if !seen[m.pos] {
+				seen[m.pos] = true
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+func (t *npTarget) add(pending []npMutation) {
+	if t == nil {
+		return
+	}
+	t.hit = true
+	t.muts = unionMuts(t.muts, pending)
+}
+
+func (s *npScan) scanStmt(st ast.Stmt, pending []npMutation, ctx npCtx) ([]npMutation, bool) {
+	switch st := st.(type) {
+	case *ast.ReturnStmt:
+		s.checkReturn(st, pending)
+		// Control leaves the function: nothing is pending for any
+		// fall-through successor (a productive return inside a loop must not
+		// poison the loop's exit path).
+		return nil, true
+
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			pending = unionMuts(pending, s.callMutations(rhs))
+		}
+		for _, lhs := range st.Lhs {
+			if m, ok := s.lhsMutation(lhs); ok {
+				pending = unionMuts(pending, []npMutation{m})
+			}
+		}
+		return pending, false
+
+	case *ast.IncDecStmt:
+		if m, ok := s.lhsMutation(st.X); ok {
+			pending = unionMuts(pending, []npMutation{m})
+		}
+		return pending, false
+
+	case *ast.ExprStmt:
+		return unionMuts(pending, s.callMutations(st.X)), false
+
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						pending = unionMuts(pending, s.callMutations(v))
+					}
+				}
+			}
+		}
+		return pending, false
+
+	case *ast.SendStmt:
+		return unionMuts(pending, s.callMutations(st.Chan), s.callMutations(st.Value)), false
+
+	case *ast.GoStmt:
+		return unionMuts(pending, s.callMutations(st.Call)), false
+
+	case *ast.DeferStmt:
+		// Deferred mutations run at every subsequent return, false included.
+		return unionMuts(pending, s.callMutations(st.Call)), false
+
+	case *ast.LabeledStmt:
+		return s.scanStmt(st.Stmt, pending, ctx)
+
+	case *ast.BlockStmt:
+		return s.scanList(st.List, pending, ctx)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			pending, _ = s.scanStmt(st.Init, pending, ctx)
+		}
+		pending = unionMuts(pending, s.callMutations(st.Cond))
+		bodyPending, bodyTerm := s.scanList(st.Body.List, pending, ctx)
+		out := pending // the cond-false path when there is no else
+		elseTerm := false
+		if st.Else != nil {
+			ep, et := s.scanStmt(st.Else, pending, ctx)
+			elseTerm = et
+			if !et {
+				out = unionMuts(out, ep)
+			}
+		}
+		if !bodyTerm {
+			out = unionMuts(out, bodyPending)
+		}
+		return out, bodyTerm && elseTerm && st.Else != nil
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			pending, _ = s.scanStmt(st.Init, pending, ctx)
+		}
+		iterMuts := s.callMutations(st.Cond)
+		if st.Post != nil {
+			// Post-statement mutations reach the next iteration and the exit.
+			if m, ok := s.postMutation(st.Post); ok {
+				iterMuts = unionMuts(iterMuts, []npMutation{m})
+			}
+		}
+		return s.scanLoop(st.Body.List, unionMuts(pending, iterMuts), ctx), false
+
+	case *ast.RangeStmt:
+		pending = unionMuts(pending, s.callMutations(st.X))
+		if st.Key != nil {
+			if m, ok := s.lhsMutation(st.Key); ok {
+				pending = unionMuts(pending, []npMutation{m})
+			}
+		}
+		if st.Value != nil {
+			if m, ok := s.lhsMutation(st.Value); ok {
+				pending = unionMuts(pending, []npMutation{m})
+			}
+		}
+		return s.scanLoop(st.Body.List, pending, ctx), false
+
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.CONTINUE:
+			ctx.cont.add(pending)
+			return nil, true
+		case token.BREAK:
+			ctx.brk.add(pending)
+			return nil, true
+		case token.FALLTHROUGH:
+			return pending, false
+		default: // goto: keep pending flowing, assume no termination
+			return pending, false
+		}
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			pending, _ = s.scanStmt(st.Init, pending, ctx)
+		}
+		pending = unionMuts(pending, s.callMutations(st.Tag))
+		return s.scanClauses(st.Body.List, pending, ctx)
+
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			pending, _ = s.scanStmt(st.Init, pending, ctx)
+		}
+		return s.scanClauses(st.Body.List, pending, ctx)
+
+	case *ast.SelectStmt:
+		return s.scanClauses(st.Body.List, pending, ctx)
+
+	default:
+		return pending, false
+	}
+}
+
+// scanLoop runs a loop body to a two-iteration fixpoint: the first pass
+// discovers the mutations carried around the back-edge, the second rescans
+// with them pending so a mutation late in the body is seen by a return
+// early in the body. Reports are deduplicated by mutation site, so the
+// double scan cannot double-report. The returned set is what may be pending
+// after the loop exits (condition failure or break).
+func (s *npScan) scanLoop(body []ast.Stmt, pending []npMutation, outer npCtx) []npMutation {
+	var cont1, brk1 npTarget
+	p1, _ := s.scanList(body, pending, npCtx{cont: &cont1, brk: &brk1})
+	carried := unionMuts(pending, p1, cont1.muts)
+	var cont2, brk2 npTarget
+	p2, _ := s.scanList(body, carried, npCtx{cont: &cont2, brk: &brk2})
+	return unionMuts(pending, p2, cont2.muts, brk2.muts)
+}
+
+// scanClauses handles switch/type-switch/select bodies: each clause starts
+// from the same incoming set; the statement after the switch sees the union
+// of every non-terminating clause, every break, and — without a default —
+// the incoming set itself.
+func (s *npScan) scanClauses(clauses []ast.Stmt, pending []npMutation, ctx npCtx) ([]npMutation, bool) {
+	var brk npTarget
+	inner := npCtx{cont: ctx.cont, brk: &brk}
+	out := []npMutation(nil)
+	allTerm := true
+	hasDefault := false
+	for _, cl := range clauses {
+		var body []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				pending = unionMuts(pending, s.callMutations(e))
+			}
+			if cl.List == nil {
+				hasDefault = true
+			}
+			body = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				pending, _ = s.scanStmt(cl.Comm, pending, inner)
+			}
+			body = cl.Body
+		default:
+			continue
+		}
+		cp, ct := s.scanList(body, pending, inner)
+		if !ct {
+			out = unionMuts(out, cp)
+		}
+		allTerm = allTerm && ct
+	}
+	out = unionMuts(out, brk.muts)
+	if !hasDefault {
+		out = unionMuts(out, pending)
+	}
+	terminated := allTerm && hasDefault && !brk.hit
+	return unionMuts(pending[:0:0], out), terminated
+}
+
+// checkReturn reports every pending mutation that can flow into a return
+// whose ok result is not provably the constant true.
+func (s *npScan) checkReturn(st *ast.ReturnStmt, pending []npMutation) {
+	// Wholesale delegation: `return inner.NextPkt()` — the callee's own
+	// NextPkt is checked where it is declared.
+	if len(st.Results) == 1 {
+		if _, ok := st.Results[0].(*ast.CallExpr); ok && len(pending) == 0 {
+			return
+		}
+	}
+	if len(st.Results) == 2 {
+		for _, r := range st.Results {
+			pending = unionMuts(pending, s.callMutations(r))
+		}
+		if tv, ok := s.pass.Info.Types[st.Results[1]]; ok && tv.Value != nil &&
+			tv.Value.Kind() == constant.Bool && constant.BoolVal(tv.Value) {
+			return // provably productive: mutations on this path are the contract working
+		}
+	}
+	for _, m := range pending {
+		if s.reported[m.pos] {
+			continue
+		}
+		s.reported[m.pos] = true
+		s.pass.Report(m.pos, "NextPkt %s on a path that may return ok=false; unproductive NextPkt must not mutate (pooled-runner reuse and the adjacency cache replay the state key)", m.desc)
+	}
+}
+
+// postMutation classifies a for-loop post statement.
+func (s *npScan) postMutation(st ast.Stmt) (npMutation, bool) {
+	switch st := st.(type) {
+	case *ast.IncDecStmt:
+		return s.lhsMutation(st.X)
+	case *ast.AssignStmt:
+		for _, lhs := range st.Lhs {
+			if m, ok := s.lhsMutation(lhs); ok {
+				return m, true
+			}
+		}
+	}
+	return npMutation{}, false
+}
+
+// lhsMutation reports whether assigning through expr mutates the receiver
+// or a package-level variable.
+func (s *npScan) lhsMutation(expr ast.Expr) (npMutation, bool) {
+	root := rootIdent(expr)
+	if root == nil {
+		return npMutation{}, false
+	}
+	obj := s.pass.Info.Uses[root]
+	if obj == nil {
+		obj = s.pass.Info.Defs[root]
+	}
+	if obj == nil {
+		return npMutation{}, false
+	}
+	if s.recv != nil && obj == s.recv {
+		return npMutation{pos: expr.Pos(), desc: "assigns to " + types.ExprString(expr)}, true
+	}
+	if isPackageVar(obj) {
+		return npMutation{pos: expr.Pos(), desc: "assigns to package variable " + types.ExprString(expr)}, true
+	}
+	return npMutation{}, false
+}
+
+// callMutations collects the calls under expr that may mutate the receiver
+// or package state: methods invoked on a receiver-rooted or package-var
+// path, and calls handed a receiver-rooted pointer, slice, map, chan or
+// interface argument. Function-literal bodies are skipped — defining a
+// closure mutates nothing until it runs, and a closure that runs inside the
+// body surfaces as the call site itself.
+func (s *npScan) callMutations(expr ast.Expr) []npMutation {
+	if expr == nil {
+		return nil
+	}
+	var out []npMutation
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if m, ok := s.callMutation(call); ok {
+			out = append(out, m)
+		}
+		return true
+	})
+	return out
+}
+
+func (s *npScan) callMutation(call *ast.CallExpr) (npMutation, bool) {
+	fun := ast.Unparen(call.Fun)
+	// Builtins (len, cap, append, ...) and type conversions do not mutate.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, ok := s.pass.Info.Uses[id].(*types.Builtin); ok {
+			return npMutation{}, false
+		}
+	}
+	if tv, ok := s.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return npMutation{}, false
+	}
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if s.rootedAtState(sel.X) {
+			return npMutation{pos: call.Pos(), desc: "calls " + types.ExprString(fun) + ", which may mutate the receiver"}, true
+		}
+	}
+	for _, arg := range call.Args {
+		a := ast.Unparen(arg)
+		if u, ok := a.(*ast.UnaryExpr); ok && u.Op == token.AND && s.rootedAtState(u.X) {
+			return npMutation{pos: call.Pos(), desc: "passes &" + types.ExprString(u.X) + " to " + types.ExprString(fun) + ", which may mutate through it"}, true
+		}
+		if !s.rootedAtState(a) {
+			continue
+		}
+		if tv, ok := s.pass.Info.Types[arg]; ok && mutableThrough(tv.Type) {
+			return npMutation{pos: call.Pos(), desc: "passes " + types.ExprString(a) + " to " + types.ExprString(fun) + ", which may mutate through it"}, true
+		}
+	}
+	return npMutation{}, false
+}
+
+// rootedAtState reports whether expr reads through the receiver or a
+// package-level variable.
+func (s *npScan) rootedAtState(expr ast.Expr) bool {
+	root := rootIdent(expr)
+	if root == nil {
+		return false
+	}
+	obj := s.pass.Info.Uses[root]
+	if obj == nil {
+		obj = s.pass.Info.Defs[root]
+	}
+	if obj == nil {
+		return false
+	}
+	return (s.recv != nil && obj == s.recv) || isPackageVar(obj)
+}
+
+// mutableThrough reports whether a value of type t lets a callee mutate the
+// caller's state: pointers, slices, maps, channels and interfaces can;
+// plain values cannot.
+func mutableThrough(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// isPackageVar reports whether obj is a package-level variable (of any
+// package — mutating another package's state is no better).
+func isPackageVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// rootIdent unwraps selectors, indexes, derefs and parens down to the
+// leftmost identifier.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}

@@ -26,14 +26,19 @@ var stateKeyMethods = map[string]bool{
 // StateKeyAnalyzer checks that StateKey/ControlKey implementations are
 // pure and cheap: no map iteration (order-dependent bytes), no randomness,
 // no clock reads, and no fmt formatting (reflection on the hot path) —
-// directly or through package-local helpers.
+// directly or through helpers. With the facts channel (facts.go) the
+// transitive fixpoint is module-wide: every unit exports a purity fact for
+// each of its exported functions, and calls into other packages are judged
+// by the callee's fact, so a StateKey → helper-package → fmt chain is
+// caught across package boundaries. Without facts the fixpoint degrades to
+// its original package-local scope.
 func StateKeyAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "statekey",
 		Doc: "StateKey/ControlKey methods must be pure and allocation-lean: no map " +
 			"iteration, no math/rand, no clock reads, and no fmt.Sprintf-style " +
 			"formatting (use the keyBuf append helpers), including transitively " +
-			"through package-local helpers",
+			"through helpers — cross-package when the facts channel is enabled",
 		Run: runStateKey,
 	}
 }
@@ -67,6 +72,8 @@ func runStateKey(pass *Pass) {
 
 	// Pass 2: propagate impurity through package-local calls to a fixpoint,
 	// so a StateKey that calls keyf (which calls fmt.Sprintf) is flagged.
+	// Cross-package impurity enters via classify (imported callees with an
+	// impure fact) and propagates through the same fixpoint.
 	impure := make(map[*types.Func]string)
 	for obj, imp := range funcs {
 		if imp.reason != "" {
@@ -110,14 +117,36 @@ func runStateKey(pass *Pass) {
 						pass.Report(n.Pos(), "%s calls %s, which %s; state keys must be pure — use the keyBuf append helpers", fd.Name.Name, callee.Name(), why)
 					}
 				}
+				if callee := importedCallee(pass, n); callee != nil {
+					if fact, ok := pass.Facts.ImportedPurity(callee); ok && fact.Impure {
+						pass.Report(n.Pos(), "%s calls %s.%s, which %s; state keys must be pure — use the keyBuf append helpers",
+							fd.Name.Name, callee.Pkg().Name(), callee.Name(), fact.Reason)
+					}
+				}
 			}
 			return true
 		})
 	}
+
+	// Pass 4: export a purity fact for every exported function, so
+	// downstream units can judge calls into this package. Pure facts are
+	// exported too — the channel's health is observable as non-empty vetx
+	// payloads, and absence stays distinguishable from purity.
+	if pass.Facts != nil {
+		for obj := range funcs {
+			if !exportableFunc(obj) {
+				continue
+			}
+			why, bad := impure[obj]
+			pass.Facts.ExportPurity(funcKey(obj), PurityFact{Impure: bad, Reason: why})
+		}
+	}
 }
 
 // classify inspects one function body for direct violations and collects
-// its package-local callees.
+// its package-local callees. Calls into other packages are judged
+// immediately against the facts channel: an imported callee with an impure
+// fact is as direct a ban as a fmt.Sprintf call.
 func classify(pass *Pass, fd *ast.FuncDecl) *impurity {
 	imp := &impurity{}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -130,6 +159,11 @@ func classify(pass *Pass, fd *ast.FuncDecl) *impurity {
 		}
 		if callee := localCallee(pass, call); callee != nil {
 			imp.callees = append(imp.callees, callee)
+		}
+		if callee := importedCallee(pass, call); callee != nil && imp.reason == "" {
+			if fact, ok := pass.Facts.ImportedPurity(callee); ok && fact.Impure {
+				imp.reason = "calls " + callee.Pkg().Name() + "." + callee.Name() + ", which " + fact.Reason
+			}
 		}
 		return true
 	})
@@ -167,6 +201,26 @@ func localCallee(pass *Pass, call *ast.CallExpr) *types.Func {
 	}
 	fn, ok := pass.Info.Uses[id].(*types.Func)
 	if !ok || fn.Pkg() == nil || fn.Pkg() != pass.Pkg {
+		return nil
+	}
+	return fn
+}
+
+// importedCallee resolves a call to a function or method declared in
+// another package, if it is one. Interface-dispatched calls resolve to the
+// interface's method object; those carry no facts and come back pure.
+func importedCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg() == pass.Pkg {
 		return nil
 	}
 	return fn

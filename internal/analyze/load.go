@@ -138,6 +138,64 @@ func LoadPackages(dir string, patterns ...string) ([]*LoadedPackage, error) {
 	return out, nil
 }
 
+// TopoOrder returns the loaded packages in dependency order: every package
+// appears after all of its imports that are themselves in the set. Imports
+// outside the set (std, unloaded packages) are ignored — their facts simply
+// aren't available, and analyzers degrade to package-local precision for
+// calls into them. The order is deterministic: DFS from the import-path-
+// sorted roots over the type-checker's source-ordered import lists.
+func TopoOrder(pkgs []*LoadedPackage) []*LoadedPackage {
+	byPath := make(map[string]*LoadedPackage, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	visited := make(map[string]bool, len(pkgs))
+	out := make([]*LoadedPackage, 0, len(pkgs))
+	var visit func(p *LoadedPackage)
+	visit = func(p *LoadedPackage) {
+		if visited[p.ImportPath] {
+			return
+		}
+		visited[p.ImportPath] = true
+		for _, imp := range p.Pkg.Imports() {
+			if q := byPath[imp.Path()]; q != nil {
+				visit(q)
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
+}
+
+// AnalyzeModule is the in-process counterpart of the go vet facts protocol:
+// it runs the analyzers over the loaded packages in dependency order,
+// accumulating each package's exported facts in memory so downstream
+// packages see upstream purity verdicts. With withFacts false every package
+// is analyzed fact-free (the pre-facts behavior), which is the contrast the
+// facts fixtures assert on.
+func AnalyzeModule(analyzers []*Analyzer, pkgs []*LoadedPackage, withFacts bool) UnitResult {
+	sets := make(map[string]*FactSet)
+	var res UnitResult
+	for _, p := range TopoOrder(pkgs) {
+		var store *FactStore
+		if withFacts {
+			store = NewFactStoreFrom(sets)
+		}
+		r := RunUnit(analyzers, p.Fset, p.Files, p.Pkg, p.Info, store)
+		if withFacts {
+			sets[p.ImportPath] = store.Exported()
+		}
+		res.Diags = append(res.Diags, r.Diags...)
+		res.Suppressed = append(res.Suppressed, r.Suppressed...)
+	}
+	sortDiags(res.Diags)
+	sortDiags(res.Suppressed)
+	return res
+}
+
 // TypeCheck type-checks already-parsed files under the given import path,
 // resolving imports through the export-data map.
 func TypeCheck(fset *token.FileSet, importPath string, files []*ast.File, exports map[string]string) (*types.Package, *types.Info, error) {

@@ -1,0 +1,104 @@
+// Fixture for the freelist analyzer: in internal/verify, release(cfg) hands
+// the object to the freelist and the next clone may recycle it — no read of
+// cfg may follow a release on the same path.
+package verify
+
+type config struct {
+	delivered int
+	frontier  int
+}
+
+type explorer struct {
+	free  []*config
+	nodes []*config
+}
+
+func (e *explorer) clone() *config {
+	if n := len(e.free); n > 0 {
+		c := e.free[n-1]
+		e.free = e.free[:n-1]
+		return c
+	}
+	return new(config)
+}
+
+func (e *explorer) release(c *config) {
+	e.free = append(e.free, c)
+}
+
+// useAfterRelease is the space.go:visit shape this analyzer exists for: the
+// progress comparison reads ns after the else-branch released it.
+func (e *explorer) useAfterRelease(ns *config, from int) int {
+	e.release(ns)
+	return ns.delivered - e.nodes[from].delivered // want "reads ns after release"
+}
+
+// releaseLast is the fixed shape: all reads happen before the release.
+func (e *explorer) releaseLast(ns *config, from int) int {
+	progress := ns.delivered - e.nodes[from].delivered
+	e.release(ns)
+	return progress
+}
+
+// branchRelease releases on one arm only; the read below is still reachable
+// through that arm.
+func (e *explorer) branchRelease(c *config, drop bool) int {
+	if drop {
+		e.release(c)
+	}
+	return c.frontier // want "reads c after release"
+}
+
+// branchReleaseClean terminates the releasing arm before the read.
+func (e *explorer) branchReleaseClean(c *config, drop bool) int {
+	if drop {
+		e.release(c)
+		return 0
+	}
+	return c.frontier
+}
+
+// reassignRevives: a wholesale reassignment makes the variable a different
+// object; reads after it are fine.
+func (e *explorer) reassignRevives(c *config) int {
+	e.release(c)
+	c = e.clone()
+	return c.delivered
+}
+
+// fieldWriteAfterRelease scribbles on a recycled object.
+func (e *explorer) fieldWriteAfterRelease(c *config) {
+	e.release(c)
+	c.delivered = 0 // want "reads c after release"
+}
+
+// doubleRelease queues the same object twice: the freelist would hand it out
+// to two callers.
+func (e *explorer) doubleRelease(c *config) {
+	e.release(c)
+	e.release(c) // want "releases c twice"
+}
+
+// loopCarryRelease releases at the bottom of an iteration and reads at the
+// top of the next: only the two-pass loop scan sees it. The second
+// iteration's release is also a genuine double release.
+func (e *explorer) loopCarryRelease(cs []*config) int {
+	sum := 0
+	c := e.clone()
+	for i := 0; i < len(cs); i++ {
+		sum += c.delivered // want "reads c after release"
+		e.release(c)       // want "releases c twice"
+	}
+	return sum
+}
+
+// loopReassignClean re-clones each iteration before reading.
+func (e *explorer) loopReassignClean(n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		c := e.clone()
+		sum += c.delivered
+		e.release(c)
+	}
+	return sum
+}

@@ -1,0 +1,175 @@
+// Fixture for the nextpkt analyzer: NextPkt bodies must not mutate receiver
+// or package state on any path that can return ok=false. The shapes mirror
+// the real endpoints in internal/transport and internal/protocol.
+package transport
+
+// Packet stands in for ioa.Packet; the analyzer keys on the method name and
+// the (T, bool) result shape, not on the packet type.
+type Packet struct {
+	Kind string
+	Seq  int
+}
+
+var pktTotal int
+
+// goodR is the canonical receiver shape: the pop happens only on the
+// productive arm.
+type goodR struct{ acks []Packet }
+
+func (r *goodR) NextPkt() (Packet, bool) {
+	if len(r.acks) == 0 {
+		return Packet{}, false
+	}
+	p := r.acks[0]
+	r.acks = r.acks[1:]
+	return p, true
+}
+
+// pollCountR mutates before deciding: the increment reaches the ok=false
+// return.
+type pollCountR struct {
+	acks  []Packet
+	polls int
+}
+
+func (r *pollCountR) NextPkt() (Packet, bool) {
+	r.polls++ // want "NextPkt assigns to r.polls on a path that may return ok=false"
+	if len(r.acks) == 0 {
+		return Packet{}, false
+	}
+	return r.acks[0], true
+}
+
+// globalCountT bumps package state on the idle path.
+type globalCountT struct{ busy bool }
+
+func (t *globalCountT) NextPkt() (Packet, bool) {
+	if !t.busy {
+		pktTotal++ // want "NextPkt assigns to package variable pktTotal on a path that may return ok=false"
+		return Packet{}, false
+	}
+	return Packet{Kind: "msg"}, true
+}
+
+// rrT is the sliding-window round-robin shape: the lane pop and cursor
+// advance are followed by a provably-productive return inside the loop, so
+// the post-loop ok=false return is clean. Must not be flagged.
+type rrT struct {
+	lanes [][]Packet
+	rr    int
+}
+
+func (t *rrT) NextPkt() (Packet, bool) {
+	n := len(t.lanes)
+	if n == 0 {
+		return Packet{}, false
+	}
+	for i := 0; i < n; i++ {
+		idx := (t.rr + i) % n
+		if len(t.lanes[idx]) == 0 {
+			continue
+		}
+		p := t.lanes[idx][0]
+		t.lanes[idx] = t.lanes[idx][1:]
+		t.rr = (idx + 1) % n
+		return p, true
+	}
+	return Packet{}, false
+}
+
+// breakT leaks a mutation out of the loop through break: the cursor write
+// reaches the post-loop ok=false return.
+type breakT struct {
+	lanes [][]Packet
+	rr    int
+}
+
+func (t *breakT) NextPkt() (Packet, bool) {
+	for i := range t.lanes {
+		t.rr = i // want "NextPkt assigns to t.rr on a path that may return ok=false"
+		break
+	}
+	return Packet{}, false
+}
+
+// countingT mutates only on the productive arm (the real counting
+// transmitter's sent-histogram bump). Must not be flagged.
+type countingT struct {
+	busy bool
+	bit  int
+	sent map[int]int
+}
+
+func (t *countingT) NextPkt() (Packet, bool) {
+	if !t.busy {
+		return Packet{}, false
+	}
+	t.sent[t.bit]++
+	return Packet{Kind: "msg", Seq: t.bit}, true
+}
+
+// wrapT delegates wholesale; the inner NextPkt is checked where it is
+// declared. Must not be flagged.
+type wrapT struct{ inner *goodR }
+
+func (t *wrapT) NextPkt() (Packet, bool) {
+	return t.inner.NextPkt()
+}
+
+// resetR calls a mutating helper method on the idle path: receiver-rooted
+// calls are assumed to mutate.
+type resetR struct{ acks []Packet }
+
+func (r *resetR) reset() { r.acks = nil }
+
+func (r *resetR) NextPkt() (Packet, bool) {
+	if len(r.acks) == 0 {
+		r.reset() // want "NextPkt calls r.reset, which may mutate the receiver on a path that may return ok=false"
+		return Packet{}, false
+	}
+	return r.acks[0], true
+}
+
+// deferR registers a mutation that runs at every return, ok=false included.
+type deferR struct{ polls int }
+
+func (r *deferR) NextPkt() (Packet, bool) {
+	defer func() { r.polls++ }()
+	_ = r.polls
+	return Packet{}, false
+}
+
+// The defer above is a closure: the mutation is inside the FuncLit, which
+// callMutations skips, but handing &r-rooted state to a deferred closure is
+// beyond this analyzer's reach — so deferMutR uses the direct shape the
+// analyzer does see.
+type deferMutR struct {
+	acks  []Packet
+	polls int
+}
+
+func (r *deferMutR) bump() { r.polls++ }
+
+func (r *deferMutR) NextPkt() (Packet, bool) {
+	defer r.bump() // want "NextPkt calls r.bump, which may mutate the receiver on a path that may return ok=false"
+	if len(r.acks) == 0 {
+		return Packet{}, false
+	}
+	return r.acks[0], true
+}
+
+// idleR is the livelock receiver: a bare unproductive stub. Must not be
+// flagged.
+type idleR struct{}
+
+func (r *idleR) NextPkt() (Packet, bool) {
+	return Packet{}, false
+}
+
+// notNextPkt has the name but not the shape; out of scope.
+type notNextPkt struct{ n int }
+
+func (t *notNextPkt) NextPkt() Packet {
+	t.n++
+	return Packet{}
+}

@@ -1,0 +1,3 @@
+module vetmod
+
+go 1.22

@@ -1,0 +1,21 @@
+// Package helper is the upstream half of the cross-package facts fixture:
+// an exported helper whose impurity is only visible through the facts
+// channel. It is a real (checked-in, nested-module) package so both driver
+// modes — the in-process loader and `go vet -vettool` — can compile it and
+// exchange facts about it.
+package helper
+
+import "fmt"
+
+// Render formats a value slice with fmt: reflection-driven and
+// allocation-heavy, exactly what state-key paths must not call. The
+// statekey analyzer exports an impurity fact for it.
+func Render(vals []int) string {
+	return fmt.Sprint(vals)
+}
+
+// Width is a pure helper: its fact says so, which keeps the channel's
+// "facts present" signal distinguishable from "no facts at all".
+func Width(vals []int) int {
+	return len(vals)
+}

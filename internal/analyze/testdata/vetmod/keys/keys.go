@@ -1,0 +1,26 @@
+// Package keys is the downstream half of the cross-package facts fixture:
+// its StateKey calls helper.Render, which is impure — but only the helper
+// package's unit can see why. Without facts this package analyzes clean;
+// with the channel, statekey reports the call below.
+package keys
+
+import "vetmod/helper"
+
+// Node is a stand-in endpoint with a canonical state encoding.
+type Node struct {
+	vals []int
+}
+
+// StateKey delegates its encoding to the impure imported helper. The
+// diagnostic here fires only when the helper's purity fact is in scope.
+func (n Node) StateKey() string {
+	return helper.Render(n.vals)
+}
+
+// ControlKey stays on the pure helper; no diagnostic.
+func (n Node) ControlKey() string {
+	if helper.Width(n.vals) == 0 {
+		return "empty"
+	}
+	return "loaded"
+}

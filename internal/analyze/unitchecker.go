@@ -30,6 +30,12 @@ import (
 //
 // Diagnostics go to stderr as file:line:col: message, and the process exits
 // nonzero iff there were findings — cmd/go surfaces them per package.
+//
+// Facts ride the same protocol: each unit decodes the vetx files of its
+// dependencies (cfg.PackageVetx), analyzes with them in scope, and writes
+// its own exported facts to cfg.VetxOutput, which cmd/go caches and feeds
+// to dependents. Units driven with VetxOnly (dependencies of the packages
+// named on the vet command line) export facts and suppress diagnostics.
 
 // vetConfig mirrors the JSON configuration cmd/go writes for each unit.
 // Field names must match; unknown fields are ignored.
@@ -79,7 +85,7 @@ func VettoolMain(progname string, analyzers []*Analyzer, args []string) int {
 		fmt.Fprintf(os.Stderr, "%s: expected a *.cfg argument, got %q\n", progname, rest[0])
 		return 1
 	}
-	return runUnit(progname, rest[0], enabled)
+	return runUnit(progname, rest[0], enabled, os.Stderr)
 }
 
 // filterAnalyzerFlags interprets boolean flags named after analyzers as a
@@ -142,28 +148,31 @@ func printFlagDefs(analyzers []*Analyzer) {
 	fmt.Println()
 }
 
-// runUnit analyzes one compilation unit described by a cfg file.
-func runUnit(progname, cfgFile string, analyzers []*Analyzer) int {
+// runUnit analyzes one compilation unit described by a cfg file, reading its
+// dependencies' facts from PackageVetx and writing its own to VetxOutput.
+// Diagnostics go to errw.
+func runUnit(progname, cfgFile string, analyzers []*Analyzer, errw io.Writer) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		fmt.Fprintf(errw, "%s: %v\n", progname, err)
 		return 1
 	}
 	cfg := new(vetConfig)
 	if err := json.Unmarshal(data, cfg); err != nil {
-		fmt.Fprintf(os.Stderr, "%s: parsing %s: %v\n", progname, cfgFile, err)
+		fmt.Fprintf(errw, "%s: parsing %s: %v\n", progname, cfgFile, err)
 		return 1
 	}
 
-	// The tool carries no facts between units, but cmd/go caches and feeds
-	// back the vetx output file, so one must always be written.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+	// cmd/go caches and feeds back the vetx output, so a file must exist on
+	// every exit path; paths that bail before analysis write an empty set.
+	writeEmptyVetx := func() int {
+		if cfg.VetxOutput == "" {
+			return 0
+		}
+		if err := WriteFactsFile(cfg.VetxOutput, NewFactSet()); err != nil {
+			fmt.Fprintf(errw, "%s: %v\n", progname, err)
 			return 1
 		}
-	}
-	if cfg.VetxOnly {
 		return 0
 	}
 
@@ -173,9 +182,9 @@ func runUnit(progname, cfgFile string, analyzers []*Analyzer) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return 0 // the compiler will report it better
+				return writeEmptyVetx() // the compiler will report it better
 			}
-			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			fmt.Fprintf(errw, "%s: %v\n", progname, err)
 			return 1
 		}
 		files = append(files, f)
@@ -204,17 +213,43 @@ func runUnit(progname, cfgFile string, analyzers []*Analyzer) int {
 	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return writeEmptyVetx()
 		}
-		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		fmt.Fprintf(errw, "%s: %v\n", progname, err)
 		return 1
 	}
 
-	diags := RunAnalyzers(analyzers, fset, files, pkg, info)
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	// Load the dependencies' fact sets. A missing or undecodable vetx file
+	// degrades that one dependency to fact-free (package-local precision)
+	// rather than failing the unit: stale caches may still hold the
+	// pre-facts tool's zero-byte files, and those decode to the empty set.
+	facts := NewFactStore()
+	for importPath, vetxFile := range cfg.PackageVetx {
+		fs, err := ReadFactsFile(vetxFile)
+		if err != nil {
+			continue
+		}
+		facts.AddPackage(importPath, fs)
 	}
-	if len(diags) > 0 {
+
+	res := RunUnit(analyzers, fset, files, pkg, info, facts)
+
+	// Export this unit's facts before any VetxOnly short-circuit: the whole
+	// point of a VetxOnly run is the facts, not the diagnostics.
+	if cfg.VetxOutput != "" {
+		if err := WriteFactsFile(cfg.VetxOutput, facts.Exported()); err != nil {
+			fmt.Fprintf(errw, "%s: %v\n", progname, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	for _, d := range res.Diags {
+		fmt.Fprintf(errw, "%s:%d:%d: %s (%s)\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	if len(res.Diags) > 0 {
 		return 1
 	}
 	return 0

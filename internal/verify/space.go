@@ -360,8 +360,6 @@ func (e *explorer) visit(ns *config, from int32, mv move) (int32, bool) {
 		e.queue = append(e.queue, ns)
 		e.parents = append(e.parents, parentEdge{parent: from, kind: mv.kind, pkt: e.pkts.intern(mv.pkt)})
 		e.nodes = append(e.nodes, nodeCounts{submitted: ns.submitted, delivered: ns.delivered, frontier: ns.frontier})
-	} else {
-		e.release(ns)
 	}
 	if from >= 0 {
 		progress := ns.delivered > e.nodes[from].delivered
@@ -369,6 +367,11 @@ func (e *explorer) visit(ns *config, from int32, mv move) (int32, bool) {
 			progress = ns.frontier > e.nodes[from].frontier
 		}
 		e.edges = append(e.edges, edgeRec{from: from, to: id, progress: progress})
+	}
+	// The progress comparison above reads ns; a duplicate goes back to the
+	// freelist only once nothing more will touch it.
+	if !fresh {
+		e.release(ns)
 	}
 	return id, fresh
 }
