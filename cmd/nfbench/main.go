@@ -10,6 +10,10 @@
 //     input executions per second on the altbit specimen.
 //   - analyze: the facts-enabled lint suite over the module's own source
 //     (the CI vet workload), reported as packages analyzed per second.
+//   - netlink: the soak server (internal/netlink) running concurrent
+//     lock-step sessions over real loopback UDP with chaos injection,
+//     reported as delivered messages per second — the one row whose work
+//     crosses the kernel instead of staying in the model.
 //
 // Both engines carry their legacy string-keyed reference implementation
 // behind a flag, and the artifact records A/B rows on identical work —
@@ -39,7 +43,10 @@ import (
 
 	"repro/internal/analyze"
 	"repro/internal/fuzz"
+	"repro/internal/netlink"
+	"repro/internal/protocol"
 	"repro/internal/replay"
+	"repro/internal/trace"
 	"repro/internal/verify"
 )
 
@@ -78,8 +85,9 @@ func run(args []string, out, errw io.Writer) int {
 	var (
 		label       = fs.String("label", "dev", "machine/configuration label recorded in the artifact")
 		outPath     = fs.String("o", "", "write the JSON artifact to this path (default: stdout only)")
-		verifyBudgt = fs.Int("verifybudget", 1<<15, "state budget for the budget-bounded verify workload")
-		fuzzBudget  = fs.Int64("fuzzbudget", 20000, "execution budget for the fuzz workload")
+		verifyBudgt  = fs.Int("verifybudget", 1<<15, "state budget for the budget-bounded verify workload")
+		fuzzBudget   = fs.Int64("fuzzbudget", 20000, "execution budget for the fuzz workload")
+		soakSessions = fs.Int("soaksessions", 256, "session count for the soak workload")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -122,6 +130,11 @@ func run(args []string, out, errw io.Writer) int {
 		// the CI vet step performs, measured as packages analyzed per second
 		// (load + type-check + seven analyzers + in-memory facts channel).
 		benchLint,
+		// The soak server: concurrent lock-step sessions over real loopback
+		// UDP with chaos injection, reported as delivered messages per
+		// second. Unlike the engine rows this one crosses the kernel on
+		// every send, so it measures the wire round trip, not the model.
+		func() (Benchmark, error) { return benchSoak(*soakSessions) },
 	}
 	for _, step := range steps {
 		b, err := step()
@@ -265,6 +278,57 @@ func benchLint() (Benchmark, error) {
 		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
 		Rate:      rate(int64(len(pkgs)), elapsed),
 		Detail:    fmt.Sprintf("findings=%d allowed=%d", len(res.Diags), len(res.Suppressed)),
+	}, nil
+}
+
+// benchSoak times a soak run through the real-socket server: sessions
+// messages each over loopback UDP under mild chaos, every log recorded into
+// a throwaway shard store. Work is delivered messages; Detail carries the
+// violation/recording counts (chaos seeds are fixed, so the work is
+// identical across machines).
+func benchSoak(sessions int) (Benchmark, error) {
+	dir, err := os.MkdirTemp("", "nfbench-soak-*")
+	if err != nil {
+		return Benchmark{}, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := trace.NewShardStore(dir, 8)
+	if err != nil {
+		return Benchmark{}, err
+	}
+	sv, err := netlink.NewServer("")
+	if err != nil {
+		return Benchmark{}, err
+	}
+	defer sv.Close()
+	start := time.Now()
+	rep, err := sv.RunSoak(netlink.SoakConfig{
+		Protocols: []protocol.Protocol{protocol.NewSeqNum(), protocol.NewAltBit(), protocol.NewCntK(4)},
+		Sessions:  sessions,
+		Messages:  8,
+		Chaos:     netlink.ChaosConfig{DropProb: 0.05, HoldProb: 0.2, DupProb: 0.1},
+		Seed:      1,
+		Workers:   16,
+		Store:     store,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("soak: %w", err)
+	}
+	if cerr := store.Close(); cerr != nil {
+		return Benchmark{}, fmt.Errorf("soak store: %w", cerr)
+	}
+	if rep.Errors > 0 || rep.Recorded != rep.Sessions {
+		return Benchmark{}, fmt.Errorf("soak: %d errors, %d/%d recorded", rep.Errors, rep.Recorded, rep.Sessions)
+	}
+	return Benchmark{
+		Name:      "netlink/soak",
+		Metric:    "msgs",
+		Work:      int64(rep.Deliveries),
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+		Rate:      rate(int64(rep.Deliveries), elapsed),
+		Detail: fmt.Sprintf("sessions=%d violations=%d dl3=%d recorded=%d",
+			rep.Sessions, rep.Violations, rep.DL3, rep.Recorded),
 	}, nil
 }
 

@@ -10,15 +10,15 @@ import (
 )
 
 // TestRunWritesArtifact drives the command with tiny budgets and checks the
-// JSON artifact's shape: all eight workloads present (including the
-// interned-vs-string A/B rows and the lint-throughput row), positive work
-// and rates, and the label threaded through.
+// JSON artifact's shape: all nine workloads present (including the
+// interned-vs-string A/B rows, the lint-throughput row and the real-socket
+// soak row), positive work and rates, and the label threaded through.
 func TestRunWritesArtifact(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	var out, errw bytes.Buffer
 	code := run([]string{
 		"-label", "unit", "-o", path,
-		"-verifybudget", "512", "-fuzzbudget", "200",
+		"-verifybudget", "512", "-fuzzbudget", "200", "-soaksessions", "16",
 	}, &out, &errw)
 	if code != 0 {
 		t.Fatalf("nfbench exited %d: %s", code, errw.String())
@@ -38,7 +38,7 @@ func TestRunWritesArtifact(t *testing.T) {
 		"verify/seqnum", "verify/cntexp", "verify/cntexp-stringkeys",
 		"verify/stabdl2-stabilize", "fuzz/altbit",
 		"fuzzexec/altbit-string", "fuzzexec/altbit-interned",
-		"analyze/lint",
+		"analyze/lint", "netlink/soak",
 	}
 	if len(art.Benchmarks) != len(want) {
 		t.Fatalf("got %d benchmarks, want %d", len(art.Benchmarks), len(want))

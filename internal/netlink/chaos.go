@@ -7,19 +7,29 @@ import (
 	"time"
 )
 
-// ChaosConn wraps a net.PacketConn with seeded, deterministic loss and
-// reordering on the *write* side: the non-FIFO physical layer of the paper,
-// imposed on a real socket.
+// ChaosConn wraps a net.PacketConn with seeded, deterministic loss,
+// reordering and duplication on the *write* side: the non-FIFO physical
+// layer of the paper, imposed on a real socket.
 //
 //   - With probability DropProb a written datagram is silently discarded
 //     (an arbitrary delay that never ends).
 //   - With probability HoldProb a written datagram is held back; a held
 //     datagram is released after a later write, i.e. it overtakes —
 //     reordering, the non-FIFO behaviour.
+//   - With probability DupProb a written datagram passes through AND a copy
+//     is held for later release — duplication, realised as a stale copy
+//     arriving behind fresher traffic.
 //
 // Reads are passed through untouched, so wrapping both endpoints of a path
 // perturbs both directions. The zero value of ChaosConfig is a transparent
 // wrapper.
+//
+// The free-running stations (Sender/Receiver) use the net.PacketConn face
+// and never learn a datagram's fate. The lock-step soak sessions
+// (session.go) use WriteOutcome instead: the per-write fate report is what
+// lets them lift every chaos outcome into the simulator's recorded
+// decision/stale-delivery vocabulary, which is what makes live soak traces
+// replayable.
 type ChaosConn struct {
 	inner net.PacketConn
 	cfg   ChaosConfig
@@ -36,6 +46,9 @@ type ChaosConfig struct {
 	// HoldProb is the probability a written datagram is delayed behind a
 	// later one (reordering).
 	HoldProb float64
+	// DupProb is the probability a written datagram is delivered AND a
+	// copy of it is held for later release (duplication).
+	DupProb float64
 	// MaxHeld bounds the hold queue; beyond it datagrams pass through.
 	// Defaults to 32.
 	MaxHeld int
@@ -46,6 +59,46 @@ type ChaosConfig struct {
 type heldPacket struct {
 	b    []byte
 	addr net.Addr
+}
+
+// WriteFate is the fate a ChaosConn assigned to one written datagram.
+type WriteFate uint8
+
+const (
+	// FatePassed: the datagram was written through to the wire.
+	FatePassed WriteFate = iota
+	// FateDropped: the datagram was silently discarded.
+	FateDropped
+	// FateHeld: the datagram was held back for later release.
+	FateHeld
+	// FateDup: the datagram was written through AND a copy was held.
+	FateDup
+)
+
+// String renders the fate for diagnostics.
+func (f WriteFate) String() string {
+	switch f {
+	case FatePassed:
+		return "passed"
+	case FateDropped:
+		return "dropped"
+	case FateHeld:
+		return "held"
+	case FateDup:
+		return "dup"
+	default:
+		return "fate(?)"
+	}
+}
+
+// WriteResult reports what a ChaosConn did with one written datagram.
+type WriteResult struct {
+	// Fate is the written datagram's own fate.
+	Fate WriteFate
+	// Released holds the raw bytes of previously held datagrams written to
+	// the wire *behind* this one (their overtaking realised). At most one
+	// per write under the current release discipline.
+	Released [][]byte
 }
 
 var _ net.PacketConn = (*ChaosConn)(nil)
@@ -62,42 +115,102 @@ func NewChaosConn(inner net.PacketConn, cfg ChaosConfig) *ChaosConn {
 	}
 }
 
-// WriteTo applies the loss/reorder discipline, then writes.
+// WriteTo applies the loss/reorder/duplication discipline, then writes.
 func (c *ChaosConn) WriteTo(b []byte, addr net.Addr) (int, error) {
+	_, err := c.WriteOutcome(b, addr)
+	return len(b), err
+}
+
+// WriteOutcome is WriteTo with a fate report: it applies the chaos
+// discipline and tells the caller exactly what happened — the datagram's own
+// fate plus any held datagrams released behind it. The lock-step soak
+// sessions depend on the report to mirror the wire into the simulator's
+// replayable vocabulary (pass → deliver, drop → drop, held → delay,
+// release → stale delivery).
+func (c *ChaosConn) WriteOutcome(b []byte, addr net.Addr) (WriteResult, error) {
 	c.mu.Lock()
 	roll := c.rng.Float64()
-	hold := false
-	var release *heldPacket
+	var res WriteResult
+	var release, dupCopy *heldPacket
+	p := c.cfg.DropProb
 	switch {
-	case roll < c.cfg.DropProb:
+	case roll < p:
 		c.mu.Unlock()
-		return len(b), nil // swallowed: an unbounded delay
-	case roll < c.cfg.DropProb+c.cfg.HoldProb && len(c.held) < c.cfg.MaxHeld:
+		res.Fate = FateDropped
+		return res, nil // swallowed: an unbounded delay
+	case roll < p+c.cfg.HoldProb && len(c.held) < c.cfg.MaxHeld:
 		cp := make([]byte, len(b))
 		copy(cp, b)
 		c.held = append(c.held, heldPacket{b: cp, addr: addr})
-		hold = true
+		res.Fate = FateHeld
 	default:
+		res.Fate = FatePassed
 		// Passing through; maybe also release one held datagram behind
-		// this one (it has now been overtaken — reordering realised).
+		// this one (it has now been overtaken — reordering realised). The
+		// release roll precedes the dup copy's enqueue so a duplicate is
+		// never released behind its own original write.
 		if len(c.held) > 0 && c.rng.Float64() < 0.5 {
 			release = &c.held[0]
 			c.held = c.held[1:]
 		}
+		if roll < p+c.cfg.HoldProb+c.cfg.DupProb && len(c.held) < c.cfg.MaxHeld {
+			cp := make([]byte, len(b))
+			copy(cp, b)
+			dupCopy = &heldPacket{b: cp, addr: addr}
+			res.Fate = FateDup
+		}
+	}
+	if dupCopy != nil {
+		c.held = append(c.held, *dupCopy)
 	}
 	c.mu.Unlock()
 
-	if hold {
-		return len(b), nil
+	if res.Fate == FateHeld {
+		return res, nil
 	}
-	n, err := c.inner.WriteTo(b, addr)
-	if err != nil {
-		return n, err
+	if _, err := c.inner.WriteTo(b, addr); err != nil {
+		return res, err
 	}
 	if release != nil {
+		res.Released = append(res.Released, release.b)
 		_, _ = c.inner.WriteTo(release.b, release.addr)
 	}
-	return n, nil
+	return res, nil
+}
+
+// ReleaseOne pops the oldest held datagram and writes it to the wire,
+// returning its raw bytes. The soak sessions use it to force progress when
+// the transmitter is stuck waiting on a delayed copy, and to drain the hold
+// queue at session end (every stale copy arrives at last). ok is false when
+// nothing is held.
+func (c *ChaosConn) ReleaseOne() (b []byte, ok bool) {
+	c.mu.Lock()
+	if len(c.held) == 0 {
+		c.mu.Unlock()
+		return nil, false
+	}
+	h := c.held[0]
+	c.held = c.held[1:]
+	c.mu.Unlock()
+	_, _ = c.inner.WriteTo(h.b, h.addr)
+	return h.b, true
+}
+
+// Preload appends a datagram to the hold queue without writing anything: it
+// has been "in transit since before time 0". The soak sessions use it to
+// realise the stabilization adversary's poison move on a real wire; the
+// preloaded copy is subsequently released through the ordinary
+// ReleaseOne/overtaking paths. It reports false when the hold queue is full.
+func (c *ChaosConn) Preload(b []byte, addr net.Addr) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.held) >= c.cfg.MaxHeld {
+		return false
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	c.held = append(c.held, heldPacket{b: cp, addr: addr})
+	return true
 }
 
 // FlushHeld releases every held datagram (stale copies arriving at last).

@@ -154,8 +154,14 @@ func redrive(l *trace.Log) (*redriven, error) { return redriveWith(l, nil) }
 // differential conformance harness (internal/conformance) uses the override
 // to push one schedule through two implementations of the same protocol.
 func redriveWith(l *trace.Log, proto protocol.Protocol) (*redriven, error) {
-	if kind := l.Meta[trace.MetaKind]; kind != "" && kind != "sim" {
-		return nil, fmt.Errorf("replay: trace kind %q is observational, only %q traces can be re-driven", kind, "sim")
+	// "sim" traces come from the simulator; "soak" traces come from the
+	// lock-step netlink sessions, which drive a sim.Runner whose channel
+	// behaviour is decided by a real wire — every wire outcome is lifted
+	// into the recorded decision/stale vocabulary, so the log is exactly as
+	// re-drivable as a simulator log. Other kinds (e.g. the free-running
+	// "netlink" recordings) are observational and refused.
+	if kind := l.Meta[trace.MetaKind]; kind != "" && kind != "sim" && kind != "soak" {
+		return nil, fmt.Errorf("replay: trace kind %q is observational, only %q and %q traces can be re-driven", kind, "sim", "soak")
 	}
 	if proto == nil {
 		name := l.Meta[trace.MetaProtocol]

@@ -216,8 +216,10 @@ const (
 	// MetaProtocol names the protocol under test (protocol.Protocol.Name).
 	MetaProtocol = "protocol"
 	// MetaKind distinguishes trace provenance: "sim" for simulator runs
-	// (deterministically replayable), "netlink" for observational socket
-	// sessions, "shrunk" for minimised traces.
+	// (deterministically replayable), "soak" for lock-step netlink soak
+	// sessions (wire-driven but decision-complete, equally replayable),
+	// "netlink" for observational socket sessions, "shrunk" for minimised
+	// traces.
 	MetaKind = "kind"
 	// MetaSource is free-form provenance (tool name, attack, workload).
 	MetaSource = "source"

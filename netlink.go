@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/netlink"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -25,6 +26,57 @@ type (
 	// ChaosConfig parameterises a ChaosConn.
 	ChaosConfig = netlink.ChaosConfig
 )
+
+// Soak server (see internal/netlink): many concurrent lock-step sessions
+// over real UDP, each recorded as a bit-for-bit replayable NFT trace.
+type (
+	// SoakServer muxes concurrent sessions over one UDP socket.
+	SoakServer = netlink.Server
+	// SoakSessionConfig parameterises one lock-step session.
+	SoakSessionConfig = netlink.SessionConfig
+	// SoakSessionResult carries a session's log, stats and verdicts.
+	SoakSessionResult = netlink.SessionResult
+	// SoakConfig parameterises a soak run.
+	SoakConfig = netlink.SoakConfig
+	// SoakReport aggregates a soak run.
+	SoakReport = netlink.SoakReport
+	// SoakOutcome summarises one soak session.
+	SoakOutcome = netlink.SessionOutcome
+)
+
+// Sharded trace storage (see internal/trace): soak recordings packed into a
+// fixed set of shard files behind an NFMAN manifest.
+type (
+	// ShardStore writes per-session trace logs into shard files.
+	ShardStore = trace.ShardStore
+	// ShardManifest indexes a shard directory.
+	ShardManifest = trace.Manifest
+	// ShardManifestEntry locates and summarises one recorded session.
+	ShardManifestEntry = trace.ManifestEntry
+)
+
+// NewShardStore creates a shard directory with the given shard-file count.
+func NewShardStore(dir string, shards int) (*ShardStore, error) {
+	return trace.NewShardStore(dir, shards)
+}
+
+// ReadShardManifest reads a shard directory's manifest.
+func ReadShardManifest(dir string) (*ShardManifest, error) { return trace.ReadManifestFile(dir) }
+
+// ReadShardLog extracts one session's log from a shard directory.
+func ReadShardLog(dir string, m *ShardManifest, session string) (*TraceLog, error) {
+	return trace.ReadShardLog(dir, m, session)
+}
+
+// NewSoakServer opens a soak server on addr ("" for an ephemeral loopback
+// port). Run sessions with its RunSession and RunSoak methods.
+func NewSoakServer(addr string) (*SoakServer, error) { return netlink.NewServer(addr) }
+
+// RunLoopbackSoakSession runs one lock-step session over a standalone pair
+// of loopback sockets, without a server mux.
+func RunLoopbackSoakSession(cfg SoakSessionConfig) (*SoakSessionResult, error) {
+	return netlink.RunLoopbackSession(cfg)
+}
 
 // Socket-level errors.
 var (
